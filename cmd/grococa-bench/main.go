@@ -1,0 +1,108 @@
+// Command grococa-bench regenerates the paper's evaluation tables: one
+// parameter sweep per figure (Figures 2–8), each comparing SC, COCA and
+// GroCoca on access latency, server request ratio, local/global cache hit
+// ratios, and power per global cache hit, plus the GroCoca ablation suite.
+//
+// Examples:
+//
+//	grococa-bench -exp all                 # every figure (long)
+//	grococa-bench -exp cachesize           # Fig 2 only
+//	grococa-bench -exp ablations           # design-choice ablations
+//	grococa-bench -exp clients -warmup 150 -requests 250   # paper scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "grococa-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("grococa-bench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: all, ablations, extensions, or one of cachesize, skew, accessrange, groupsize, updaterate, clients, disconnect, servicearea, hopdist")
+	seed := fs.Int64("seed", 1, "random seed")
+	warmup := fs.Int("warmup", 0, "override warm-up requests per host (0 = default)")
+	requests := fs.Int("requests", 0, "override measured requests per host (0 = default)")
+	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
+	csv := fs.Bool("csv", false, "emit CSV rows instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	emit := func(e experiments.Experiment, points []experiments.Point) {
+		if *csv {
+			fmt.Print(e.CSV(points))
+		} else {
+			fmt.Println(e.Table(points))
+		}
+	}
+
+	opts := experiments.Options{
+		Seed:             *seed,
+		WarmupRequests:   *warmup,
+		MeasuredRequests: *requests,
+	}
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	runOne := func(e experiments.Experiment) error {
+		points, err := e.Run(opts)
+		if err != nil {
+			return err
+		}
+		emit(e, points)
+		return nil
+	}
+
+	start := time.Now()
+	switch *exp {
+	case "all":
+		for _, e := range experiments.All() {
+			if err := runOne(e); err != nil {
+				return err
+			}
+		}
+		if err := runAblations(opts); err != nil {
+			return err
+		}
+	case "extensions":
+		for _, e := range experiments.Extensions() {
+			if err := runOne(e); err != nil {
+				return err
+			}
+		}
+	case "ablations":
+		if err := runAblations(opts); err != nil {
+			return err
+		}
+	default:
+		e, ok := experiments.LookupAny(*exp)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
+		if err := runOne(e); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
+	return nil
+}
+
+func runAblations(opts experiments.Options) error {
+	abls, results, err := experiments.RunAblations(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(experiments.AblationTable(abls, results))
+	return nil
+}

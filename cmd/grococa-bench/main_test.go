@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "bogus"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunSingleExperimentTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	// The smallest figure sweep at a drastically reduced request count;
+	// still covers the full table-rendering path.
+	if err := run([]string{"-exp", "skew", "-warmup", "3", "-requests", "5", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExtensionExperimentTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	if err := run([]string{"-exp", "hopdist", "-warmup", "3", "-requests", "5", "-q", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunRendersMap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-clients", "10", "-requests", "20", "-cols", "40", "-rows", "10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "@") || !strings.Contains(s, "hosts") {
+		t.Errorf("map output missing markers:\n%s", s)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-bogus"}, nil); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-clients", "0"}, nil); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if err := run([]string{"-clients", "10", "-requests", "20", "-cols", "2"}, nil); err == nil {
+		t.Error("tiny grid accepted")
+	}
+}

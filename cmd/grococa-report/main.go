@@ -1,0 +1,66 @@
+// Command grococa-report renders the CSV output of grococa-bench as ASCII
+// bar charts — a terminal regeneration of the paper's figures.
+//
+//	grococa-bench -exp cachesize -csv -q | grococa-report
+//	grococa-report -in results.csv -metric gch_ratio
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "grococa-report:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("grococa-report", flag.ContinueOnError)
+	in := fs.String("in", "", "input CSV file (default: stdin)")
+	metric := fs.String("metric", "", "comma-separated metrics to chart (default: the four figure metrics)")
+	width := fs.Int("width", 40, "bar width in characters")
+	list := fs.Bool("list", false, "list experiments and metrics found, then exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	rows, err := report.ParseCSV(src)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("no data rows in input")
+	}
+	if *list {
+		fmt.Fprintln(stdout, "experiments:", strings.Join(report.Experiments(rows), ", "))
+		fmt.Fprintln(stdout, "metrics:    ", strings.Join(report.Metrics(rows), ", "))
+		return nil
+	}
+	var metrics []string
+	if *metric != "" {
+		metrics = strings.Split(*metric, ",")
+	}
+	out, err := report.RenderAll(rows, metrics, *width)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(stdout, out)
+	return err
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `experiment,figure,cachesize,scheme,latency_ms,gch_ratio
+cachesize,Fig 2,50,SC,368.87,0.0
+cachesize,Fig 2,50,COCA,29.32,0.337
+`
+
+func TestRunFromStdin(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(sampleCSV), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cachesize") || !strings.Contains(out.String(), "█") {
+		t.Errorf("output missing chart:\n%s", out.String())
+	}
+}
+
+func TestRunFromFileWithMetric(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "in.csv")
+	if err := os.WriteFile(path, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", path, "-metric", "latency_ms"}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "latency_ms") {
+		t.Error("requested metric missing")
+	}
+	if strings.Contains(out.String(), "gch_ratio") {
+		t.Error("unrequested metric rendered")
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, strings.NewReader(sampleCSV), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "experiments: cachesize") {
+		t.Errorf("list output = %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-in", "/nonexistent.csv"}, nil, nil); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run(nil, strings.NewReader(""), nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := run([]string{"-bogus"}, nil, nil); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(nil, strings.NewReader("garbage,no,header\n"), nil); err == nil {
+		t.Error("malformed input accepted")
+	}
+}

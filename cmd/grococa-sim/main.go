@@ -1,0 +1,210 @@
+// Command grococa-sim runs a single cooperative-caching simulation and
+// prints the measured metrics. Every Table II parameter is exposed as a
+// flag; defaults reproduce the paper's default setting at a reduced request
+// count.
+//
+// Example:
+//
+//	grococa-sim -scheme grococa -clients 100 -cachesize 100 -theta 0.5
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "grococa-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("grococa-sim", flag.ContinueOnError)
+	cfg := core.DefaultConfig()
+
+	scheme := fs.String("scheme", "grococa", "caching scheme: sc, coca, grococa")
+	delivery := fs.String("delivery", "pull", "data delivery model: pull, push, hybrid")
+	fs.Float64Var(&cfg.BroadcastKbps, "bcastbw", cfg.BroadcastKbps, "broadcast channel kbps (push/hybrid)")
+	fs.IntVar(&cfg.BroadcastHotItems, "bcasthot", cfg.BroadcastHotItems, "hybrid hot set size in items")
+	fs.DurationVar(&cfg.BroadcastReshuffle, "bcastreshuffle", cfg.BroadcastReshuffle, "hybrid hot set reshuffle period")
+	fs.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	fs.IntVar(&cfg.NumClients, "clients", cfg.NumClients, "number of mobile hosts")
+	fs.IntVar(&cfg.NData, "ndata", cfg.NData, "number of data items at the server")
+	fs.IntVar(&cfg.DataSize, "datasize", cfg.DataSize, "item size in bytes")
+	fs.IntVar(&cfg.CacheSize, "cachesize", cfg.CacheSize, "client cache capacity in items")
+	fs.Float64Var(&cfg.SpaceWidth, "width", cfg.SpaceWidth, "space width in metres")
+	fs.Float64Var(&cfg.SpaceHeight, "height", cfg.SpaceHeight, "space height in metres")
+	fs.IntVar(&cfg.GroupSize, "groupsize", cfg.GroupSize, "motion group size")
+	fs.Float64Var(&cfg.GroupRadius, "groupradius", cfg.GroupRadius, "motion group radius in metres")
+	fs.Float64Var(&cfg.MinSpeed, "vmin", cfg.MinSpeed, "minimum speed m/s")
+	fs.Float64Var(&cfg.MaxSpeed, "vmax", cfg.MaxSpeed, "maximum speed m/s")
+	fs.Float64Var(&cfg.ServerDownlinkKbps, "downlink", cfg.ServerDownlinkKbps, "server downlink kbps")
+	fs.Float64Var(&cfg.ServerUplinkKbps, "uplink", cfg.ServerUplinkKbps, "server uplink kbps")
+	fs.Float64Var(&cfg.P2PBandwidthKbps, "p2pbw", cfg.P2PBandwidthKbps, "P2P bandwidth kbps")
+	fs.Float64Var(&cfg.TranRange, "range", cfg.TranRange, "transmission range metres")
+	fs.IntVar(&cfg.HopDist, "hops", cfg.HopDist, "P2P search hop bound")
+	fs.IntVar(&cfg.AccessRange, "accessrange", cfg.AccessRange, "per-group access range in items")
+	fs.Float64Var(&cfg.Zipf, "theta", cfg.Zipf, "Zipf skewness θ")
+	fs.IntVar(&cfg.WarmupRequests, "warmup", cfg.WarmupRequests, "warm-up requests per host")
+	fs.IntVar(&cfg.MeasuredRequests, "requests", cfg.MeasuredRequests, "measured requests per host")
+	fs.Float64Var(&cfg.DataUpdateRate, "updaterate", cfg.DataUpdateRate, "data updates per second")
+	fs.Float64Var(&cfg.DiscProb, "discprob", cfg.DiscProb, "disconnection probability")
+	fs.DurationVar(&cfg.DiscMin, "discmin", cfg.DiscMin, "minimum disconnection time")
+	fs.DurationVar(&cfg.DiscMax, "discmax", cfg.DiscMax, "maximum disconnection time")
+	fs.Float64Var(&cfg.DistanceThreshold, "delta", cfg.DistanceThreshold, "TCG distance threshold Δ (m)")
+	fs.Float64Var(&cfg.SimilarityThreshold, "simdelta", cfg.SimilarityThreshold, "TCG similarity threshold δ")
+	fs.Float64Var(&cfg.DistanceWeight, "omega", cfg.DistanceWeight, "distance EWMA weight ω")
+	fs.IntVar(&cfg.SigBits, "sigbits", cfg.SigBits, "bloom filter size σ in bits")
+	fs.IntVar(&cfg.SigHashes, "sighashes", cfg.SigHashes, "bloom hash count k")
+	fs.IntVar(&cfg.ReplaceCandidate, "replacecand", cfg.ReplaceCandidate, "replacement candidate window")
+	fs.IntVar(&cfg.ReplaceDelay, "replacedelay", cfg.ReplaceDelay, "SingletTTL initial value")
+	fs.Float64Var(&cfg.PeerAccessSample, "rho", cfg.PeerAccessSample, "peer access report portion ρ_P")
+	fs.DurationVar(&cfg.ExplicitUpdateAfter, "taup", cfg.ExplicitUpdateAfter, "explicit update silence τ_P")
+	fs.IntVar(&cfg.SigRecollectAfter, "sigrecollect", cfg.SigRecollectAfter, "batch signature recollection after N departures (<=1 immediate)")
+	criteria := fs.String("criteria", "both", "TCG criteria: both, distance, similarity")
+	mobilityModel := fs.String("mobility", "waypoint", "mobility model: waypoint, manhattan")
+	fs.Float64Var(&cfg.GridSpacing, "gridspacing", cfg.GridSpacing, "Manhattan street spacing in metres")
+	fs.BoolVar(&cfg.EnableSpillover, "spillover", false, "spill evicted items to low-activity neighbors")
+	fs.Float64Var(&cfg.SpilloverActivityRatio, "spillratio", cfg.SpilloverActivityRatio, "spill only to neighbors below this activity ratio")
+	fs.Float64Var(&cfg.LowActivityFraction, "lowactivity", cfg.LowActivityFraction, "fraction of hosts with 10x slower request rate")
+	fs.DurationVar(&cfg.HotspotShiftEvery, "shiftevery", cfg.HotspotShiftEvery, "interest drift period (0 = stationary)")
+	fs.Float64Var(&cfg.HotspotShiftFraction, "shiftfraction", cfg.HotspotShiftFraction, "fraction of the hot mapping re-permuted per shift")
+	fs.BoolVar(&cfg.DisableFilter, "nofilter", false, "disable the signature filtering mechanism")
+	fs.BoolVar(&cfg.DisableAdmission, "noadmission", false, "disable cooperative admission control")
+	fs.BoolVar(&cfg.DisableCoopReplace, "nocoopreplace", false, "disable cooperative replacement")
+	fs.BoolVar(&cfg.DisableCompression, "nocompression", false, "disable signature compression")
+	verbose := fs.Bool("v", false, "print auxiliary counters and host diagnostics")
+	traceFile := fs.String("tracefile", "", "write a CSV trace of every measured request to this file")
+
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *scheme {
+	case "sc":
+		cfg.Scheme = core.SchemeSC
+	case "coca":
+		cfg.Scheme = core.SchemeCOCA
+	case "grococa":
+		cfg.Scheme = core.SchemeGroCoca
+	default:
+		return fmt.Errorf("unknown scheme %q (want sc, coca or grococa)", *scheme)
+	}
+	switch *delivery {
+	case "pull":
+		cfg.Delivery = core.DeliveryPull
+	case "push":
+		cfg.Delivery = core.DeliveryPush
+	case "hybrid":
+		cfg.Delivery = core.DeliveryHybrid
+	default:
+		return fmt.Errorf("unknown delivery model %q (want pull, push or hybrid)", *delivery)
+	}
+	switch *mobilityModel {
+	case "waypoint":
+		cfg.Mobility = core.MobilityWaypoint
+	case "manhattan":
+		cfg.Mobility = core.MobilityManhattan
+	default:
+		return fmt.Errorf("unknown mobility model %q (want waypoint or manhattan)", *mobilityModel)
+	}
+	switch *criteria {
+	case "both":
+		cfg.GroupCriteria = server.CriteriaBoth
+	case "distance":
+		cfg.GroupCriteria = server.CriteriaDistanceOnly
+	case "similarity":
+		cfg.GroupCriteria = server.CriteriaSimilarityOnly
+	default:
+		return fmt.Errorf("unknown criteria %q (want both, distance or similarity)", *criteria)
+	}
+
+	start := time.Now()
+	s, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+		defer f.Close()
+		w := bufio.NewWriter(f)
+		defer w.Flush()
+		if _, err := fmt.Fprintln(w, "sim_time_s,host,outcome,latency_ms"); err != nil {
+			return err
+		}
+		s.Collector().OnRecord = func(at time.Duration, host network.NodeID, outcome client.Outcome, latency time.Duration) {
+			fmt.Fprintf(w, "%.3f,%d,%s,%.3f\n",
+				at.Seconds(), host, outcome, float64(latency)/float64(time.Millisecond))
+		}
+	}
+	r, err := s.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Println(r)
+	fmt.Printf("latency: p50=%v p95=%v p99=%v\n",
+		r.P50Latency.Round(100*time.Microsecond),
+		r.P95Latency.Round(100*time.Microsecond),
+		r.P99Latency.Round(100*time.Microsecond))
+	fmt.Printf("sim-time=%v events=%d wall=%v downlink-util=%.1f%% total-energy=%.2fJ completed=%v\n",
+		r.SimTime.Round(time.Second), r.Events, time.Since(start).Round(time.Millisecond),
+		100*r.DownlinkUtilization, r.TotalEnergy/1e6, r.Completed)
+	if *verbose {
+		fmt.Printf("aux: %+v\n", r.Aux)
+		cats := make([]string, 0, len(r.EnergyBreakdown))
+		for cat := range r.EnergyBreakdown {
+			cats = append(cats, cat)
+		}
+		sort.Strings(cats)
+		fmt.Print("energy:")
+		for _, cat := range cats {
+			fmt.Printf(" %s=%.2fJ", cat, r.EnergyBreakdown[cat]/1e6)
+		}
+		fmt.Println()
+		if cfg.Scheme == core.SchemeGroCoca {
+			var sum, max int
+			for _, h := range s.Hosts() {
+				n := h.TCGSize()
+				sum += n
+				if n > max {
+					max = n
+				}
+			}
+			fmt.Printf("tcg: mean-size=%.2f max-size=%d (of group size %d)\n",
+				float64(sum)/float64(len(s.Hosts())), max, cfg.GroupSize)
+			// Signature coverage ground truth: of the items actually
+			// cached by TCG members right now, what fraction does each
+			// host's peer vector cover?
+			hosts := s.Hosts()
+			var covered, total int
+			for _, h := range hosts {
+				for _, mid := range h.TCGMembers() {
+					for _, item := range hosts[mid].Cache().Items() {
+						total++
+						if h.CoversItem(item) {
+							covered++
+						}
+					}
+				}
+			}
+			if total > 0 {
+				fmt.Printf("sig-coverage: %.1f%% of %d member-cached items\n",
+					100*float64(covered)/float64(total), total)
+			}
+		}
+	}
+	return nil
+}

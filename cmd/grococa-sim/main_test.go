@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// tinyArgs shrink the run so command tests finish in milliseconds.
+var tinyArgs = []string{
+	"-clients", "8", "-ndata", "400", "-accessrange", "80",
+	"-cachesize", "15", "-warmup", "5", "-requests", "10",
+}
+
+func TestRunRejectsUnknownScheme(t *testing.T) {
+	if err := run([]string{"-scheme", "bogus"}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestRunRejectsUnknownDelivery(t *testing.T) {
+	if err := run([]string{"-delivery", "bogus"}); err == nil {
+		t.Error("unknown delivery model accepted")
+	}
+}
+
+func TestRunRejectsBadFlag(t *testing.T) {
+	if err := run([]string{"-nonsense"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	if err := run([]string{"-clients", "0"}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRunEachScheme(t *testing.T) {
+	for _, scheme := range []string{"sc", "coca", "grococa"} {
+		args := append([]string{"-scheme", scheme, "-v"}, tinyArgs...)
+		if err := run(args); err != nil {
+			t.Errorf("scheme %s: %v", scheme, err)
+		}
+	}
+}
+
+func TestRunEachDelivery(t *testing.T) {
+	for _, d := range []string{"pull", "push", "hybrid"} {
+		args := append([]string{"-scheme", "sc", "-delivery", d}, tinyArgs...)
+		if err := run(args); err != nil {
+			t.Errorf("delivery %s: %v", d, err)
+		}
+	}
+}
+
+func TestRunWritesTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	args := append([]string{"-scheme", "coca", "-tracefile", path}, tinyArgs...)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace has %d lines, want header + rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "sim_time_s,host,outcome,latency_ms") {
+		t.Errorf("trace header = %q", lines[0])
+	}
+	if !strings.Contains(string(data), "local-hit") && !strings.Contains(string(data), "server-request") {
+		t.Error("trace rows missing outcomes")
+	}
+}
+
+func TestRunRejectsUnwritableTrace(t *testing.T) {
+	args := append([]string{"-tracefile", "/nonexistent-dir/trace.csv"}, tinyArgs...)
+	if err := run(args); err == nil {
+		t.Error("unwritable trace path accepted")
+	}
+}

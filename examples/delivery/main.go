@@ -1,0 +1,63 @@
+// Delivery: the introduction's comparison of data dissemination models.
+// The same conventional-caching clients run over three MSS delivery models:
+// the paper's pull-based environment, a pure push broadcast disk over the
+// whole catalog, and a demand-driven hybrid. The run shows why the paper
+// builds COCA on a pull environment: push scales (no downlink queueing) but
+// pays about half a broadcast cycle of latency per miss and a heavy
+// listening power bill.
+//
+//	go run ./examples/delivery
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "delivery:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	base := core.DefaultConfig()
+	base.Scheme = core.SchemeSC
+	base.NumClients = 30
+	base.NData = 2000
+	base.AccessRange = 200
+	base.CacheSize = 50
+	base.WarmupRequests = 40
+	base.MeasuredRequests = 80
+
+	fmt.Println("Data dissemination models, 30 conventional-caching clients")
+	fmt.Printf("broadcast channel: %.0f kbps, hybrid hot set: %d items\n\n",
+		base.BroadcastKbps, base.BroadcastHotItems)
+	fmt.Printf("%-8s %12s %12s %12s %14s %12s\n",
+		"model", "mean", "P95", "downlink", "bcast-hits", "energy(J)")
+	for _, d := range []core.DeliveryModel{core.DeliveryPull, core.DeliveryPush, core.DeliveryHybrid} {
+		cfg := base
+		cfg.Delivery = d
+		r, err := core.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %12v %12v %11.1f%% %14d %12.1f\n",
+			d,
+			r.MeanLatency.Round(100*time.Microsecond),
+			r.P95Latency.Round(time.Millisecond),
+			100*r.DownlinkUtilization,
+			r.Aux.BroadcastDeliveries,
+			r.TotalEnergy/1e6,
+		)
+	}
+	fmt.Println()
+	fmt.Println("Pull is fastest while the downlink has headroom; push eliminates the")
+	fmt.Println("downlink but waits ~half a broadcast cycle per miss and burns idle")
+	fmt.Println("listening power; hybrid broadcasts only the hot set and pulls the rest.")
+	return nil
+}

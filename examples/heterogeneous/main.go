@@ -1,0 +1,65 @@
+// Heterogeneous: a client population where 40% of the devices are mostly
+// idle — the setting the authors' companion spillover scheme ("utilizing
+// the cache space of low-activity clients") targets. The example compares
+// COCA with spillover off and on, and reports how evenly the energy bill is
+// shared (Jain's fairness index): donated items shift both hits and energy
+// onto the idle devices.
+//
+//	go run ./examples/heterogeneous
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "heterogeneous:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	base := core.DefaultConfig()
+	base.Scheme = core.SchemeCOCA
+	base.NumClients = 30
+	base.NData = 2000
+	base.AccessRange = 200
+	base.CacheSize = 30 // tight caches make donated space matter
+	base.WarmupRequests = 80
+	base.MeasuredRequests = 120
+	base.LowActivityFraction = 0.4 // 40% of devices request 10x less often
+
+	fmt.Println("Heterogeneous fleet: 40% of 30 devices are mostly idle")
+	fmt.Println()
+	fmt.Printf("%-12s %10s %8s %8s %12s %10s %10s\n",
+		"spillover", "latency", "GCH%", "server%", "spills", "energy(J)", "fairness")
+	for _, enabled := range []bool{false, true} {
+		cfg := base
+		cfg.EnableSpillover = enabled
+		r, err := core.Run(cfg)
+		if err != nil {
+			return err
+		}
+		label := "off"
+		if enabled {
+			label = "on"
+		}
+		fmt.Printf("%-12s %10v %8.1f %8.1f %6d/%-5d %10.1f %10.3f\n",
+			label, r.MeanLatency.Round(100000),
+			100*r.GlobalHitRatio, 100*r.ServerRequestRatio,
+			r.Aux.SpillsSent, r.Aux.SpillsAccepted,
+			r.TotalEnergy/1e6, r.EnergyFairness,
+		)
+	}
+	fmt.Println()
+	fmt.Println("With spillover on, active devices donate proven-useful evictions")
+	fmt.Println("(items hit more than once) to their idle neighbors; later misses find")
+	fmt.Println("them there as global cache hits. The benefit is deliberately modest at")
+	fmt.Println("this operating point — most evictions are one-shot tail items the")
+	fmt.Println("donation filter rightly refuses to ship.")
+	return nil
+}

@@ -1,0 +1,106 @@
+// Signatures: a standalone walkthrough of the GroCoca cache signature
+// scheme — data/cache/peer/search signatures over Bloom filters, the
+// counting-filter maintenance, the dynamic-width peer counter vector, and
+// the VLFL run-length compression with the optimal-R search of Algorithm 4.
+//
+//	go run ./examples/signatures
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bloom"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "signatures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		sigBits   = 10000 // σ
+		sigHashes = 2     // k
+		cacheLen  = 100   // items cached per host
+	)
+
+	// 1. A host maintains its cache signature proactively with a counter
+	// vector: insertions and evictions adjust counters instead of
+	// rehashing the whole cache.
+	own, err := bloom.NewCountingFilter(sigBits, sigHashes, 4)
+	if err != nil {
+		return err
+	}
+	for item := uint64(0); item < cacheLen; item++ {
+		own.Insert(item)
+	}
+	sig := own.Signature()
+	fmt.Printf("cache signature: σ=%d bits, k=%d hashes, %d bits set (%.1f%% density)\n",
+		sigBits, sigHashes, sig.OnesCount(), 100*float64(sig.OnesCount())/sigBits)
+	fmt.Printf("theoretical false positive rate: %.4f\n",
+		bloom.FalsePositiveRate(sigBits, sigHashes, cacheLen))
+
+	// 2. VLFL compression: Algorithm 4 picks the run bound R = 2^l − 1
+	// minimising the expected compressed size.
+	compress, r := bloom.ShouldCompress(cacheLen, sigBits, sigHashes)
+	data, nbits, err := bloom.EncodeVLFL(sig, r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("VLFL: optimal R=%d, compress=%v, %d -> %d bits (%.1f%%), %d bytes on air\n",
+		r, compress, sigBits, nbits, 100*float64(nbits)/sigBits, len(data))
+	back, err := bloom.DecodeVLFL(data, sigBits, sigHashes, r)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("round trip exact: %v\n", back.Equal(sig))
+
+	// 3. A peer counter vector aggregates TCG members' signatures with a
+	// dynamic counter width π_p.
+	peer, err := bloom.NewPeerVector(sigBits, sigHashes)
+	if err != nil {
+		return err
+	}
+	for member := 0; member < 4; member++ {
+		memberSig, err := bloom.NewFilter(sigBits, sigHashes)
+		if err != nil {
+			return err
+		}
+		// Each member caches a different window of items, overlapping on
+		// the hot head.
+		for item := uint64(0); item < 30; item++ {
+			memberSig.Add(item) // shared hot items
+		}
+		for item := uint64(1000 + 100*member); item < uint64(1000+100*member+70); item++ {
+			memberSig.Add(item) // member-specific items
+		}
+		if err := peer.AddSignature(memberSig); err != nil {
+			return err
+		}
+		fmt.Printf("after member %d: π_p=%d bits, members=%d\n",
+			member+1, peer.WidthBits(), peer.Members())
+	}
+
+	// 4. The filtering mechanism: test search signatures against the peer
+	// signature before searching the peers' caches.
+	for _, probe := range []struct {
+		item uint64
+		note string
+	}{
+		{10, "hot item every member caches"},
+		{1150, "item only member 2 caches"},
+		{999999, "item nobody caches"},
+	} {
+		search, err := bloom.NewFilter(sigBits, sigHashes)
+		if err != nil {
+			return err
+		}
+		search.Add(probe.item)
+		fmt.Printf("search item %-7d (%-28s): search peers? %v\n",
+			probe.item, probe.note, peer.Covers(search))
+	}
+	return nil
+}

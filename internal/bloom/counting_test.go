@@ -1,0 +1,301 @@
+package bloom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCountingFilterValidation(t *testing.T) {
+	if _, err := NewCountingFilter(0, 2, 4); err == nil {
+		t.Error("zero counters accepted")
+	}
+	if _, err := NewCountingFilter(100, 0, 4); err == nil {
+		t.Error("zero hashes accepted")
+	}
+	if _, err := NewCountingFilter(100, 2, 0); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := NewCountingFilter(100, 2, 33); err == nil {
+		t.Error("width 33 accepted")
+	}
+}
+
+func TestCountingFilterInsertRemoveRoundTrip(t *testing.T) {
+	c, err := NewCountingFilter(1000, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(0); e < 50; e++ {
+		c.Insert(e)
+	}
+	for e := uint64(0); e < 50; e++ {
+		if !c.Test(e) {
+			t.Fatalf("false negative for %d", e)
+		}
+	}
+	for e := uint64(0); e < 50; e++ {
+		c.Remove(e)
+	}
+	if c.Signature().OnesCount() != 0 {
+		t.Errorf("signature not empty after removing everything: %d bits set", c.Signature().OnesCount())
+	}
+	if c.Dirty() {
+		t.Error("balanced insert/remove marked dirty")
+	}
+}
+
+func TestCountingFilterMatchesPlainFilter(t *testing.T) {
+	c, err := NewCountingFilter(2048, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := mustFilter(t, 2048, 3)
+	for e := uint64(100); e < 200; e++ {
+		c.Insert(e)
+		f.Add(e)
+	}
+	if !c.Signature().Equal(f) {
+		t.Error("counting filter signature differs from plain filter")
+	}
+}
+
+func TestCountingFilterSaturation(t *testing.T) {
+	c, err := NewCountingFilter(8, 1, 1) // max count 1, tiny filter
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Insert(1)
+	c.Insert(1) // same positions saturate
+	if !c.Dirty() {
+		t.Error("saturating insert did not mark dirty")
+	}
+	// Removing from a saturated counter must not clear the bit.
+	c.Remove(1)
+	if !c.Test(1) {
+		t.Error("saturated counter removal produced false negative")
+	}
+}
+
+func TestCountingFilterUnderflowMarksDirty(t *testing.T) {
+	c, err := NewCountingFilter(100, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Remove(42)
+	if !c.Dirty() {
+		t.Error("underflow did not mark dirty")
+	}
+}
+
+func TestCountingFilterRebuild(t *testing.T) {
+	c, err := NewCountingFilter(512, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Insert(1)
+	c.Remove(99) // dirty
+	elements := []uint64{10, 20, 30}
+	c.Rebuild(elements)
+	if c.Dirty() {
+		t.Error("rebuild left dirty flag")
+	}
+	for _, e := range elements {
+		if !c.Test(e) {
+			t.Errorf("rebuilt filter missing %d", e)
+		}
+	}
+	f := mustFilter(t, 512, 2)
+	for _, e := range elements {
+		f.Add(e)
+	}
+	if !c.Signature().Equal(f) {
+		t.Error("rebuilt signature differs from reference filter")
+	}
+}
+
+func TestPeerVectorWidthDynamics(t *testing.T) {
+	v, err := NewPeerVector(256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.WidthBits() != 0 {
+		t.Errorf("fresh vector width = %d, want 0", v.WidthBits())
+	}
+	// Build member signatures that all set one common bit so counters climb.
+	sig := mustFilter(t, 256, 2)
+	sig.SetBit(7)
+	for i := 0; i < 5; i++ {
+		if err := v.AddSignature(sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.Members() != 5 {
+		t.Errorf("Members = %d", v.Members())
+	}
+	// Counter at bit 7 is 5, needing 3 bits.
+	if v.WidthBits() != 3 {
+		t.Errorf("width = %d, want 3", v.WidthBits())
+	}
+	for i := 0; i < 4; i++ {
+		if err := v.RemoveSignature(sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Counter now 1; width contracts to 1.
+	if v.WidthBits() != 1 {
+		t.Errorf("width after removals = %d, want 1", v.WidthBits())
+	}
+	if err := v.RemoveSignature(sig); err != nil {
+		t.Fatal(err)
+	}
+	if v.WidthBits() != 0 {
+		t.Errorf("width after emptying = %d, want 0", v.WidthBits())
+	}
+}
+
+func TestPeerVectorCoversAndSignature(t *testing.T) {
+	v, err := NewPeerVector(2048, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memberSig := mustFilter(t, 2048, 2)
+	for e := uint64(0); e < 30; e++ {
+		memberSig.Add(e)
+	}
+	if err := v.AddSignature(memberSig); err != nil {
+		t.Fatal(err)
+	}
+	search := mustFilter(t, 2048, 2)
+	search.Add(15)
+	if !v.Covers(search) {
+		t.Error("peer vector does not cover member's item")
+	}
+	if !v.Signature().Covers(search) {
+		t.Error("materialised signature does not cover member's item")
+	}
+	if err := v.RemoveSignature(memberSig); err != nil {
+		t.Fatal(err)
+	}
+	if v.Covers(search) {
+		t.Error("emptied vector still covers item")
+	}
+}
+
+func TestPeerVectorApplyDelta(t *testing.T) {
+	v, err := NewPeerVector(64, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.ApplyDelta([]int{3, 9, 60}, nil)
+	sig := v.Signature()
+	for _, p := range []int{3, 9, 60} {
+		if !sig.Bit(p) {
+			t.Errorf("bit %d not set after insertion delta", p)
+		}
+	}
+	v.ApplyDelta(nil, []int{9})
+	if v.Signature().Bit(9) {
+		t.Error("bit 9 still set after eviction delta")
+	}
+	// Out-of-range positions are ignored.
+	v.ApplyDelta([]int{-1, 64, 1000}, []int{-5, 99})
+	if v.Signature().Bit(3) != true {
+		t.Error("valid state disturbed by out-of-range delta")
+	}
+}
+
+func TestPeerVectorReset(t *testing.T) {
+	v, err := NewPeerVector(128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := mustFilter(t, 128, 2)
+	sig.Add(5)
+	if err := v.AddSignature(sig); err != nil {
+		t.Fatal(err)
+	}
+	v.Reset()
+	if v.Members() != 0 || v.WidthBits() != 0 || v.Signature().OnesCount() != 0 {
+		t.Error("Reset left residual state")
+	}
+}
+
+func TestPeerVectorGeometryMismatch(t *testing.T) {
+	v, err := NewPeerVector(128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := mustFilter(t, 64, 2)
+	if err := v.AddSignature(bad); err == nil {
+		t.Error("AddSignature with wrong size accepted")
+	}
+	if err := v.RemoveSignature(bad); err == nil {
+		t.Error("RemoveSignature with wrong size accepted")
+	}
+	if v.Covers(bad) {
+		t.Error("Covers true across size mismatch")
+	}
+}
+
+// Property: add N signatures then remove them all — the vector returns to
+// empty with width 0.
+func TestPeerVectorBalancedProperty(t *testing.T) {
+	prop := func(itemSets [][]uint64) bool {
+		if len(itemSets) > 8 {
+			itemSets = itemSets[:8]
+		}
+		v, err := NewPeerVector(1024, 2)
+		if err != nil {
+			return false
+		}
+		sigs := make([]*Filter, 0, len(itemSets))
+		for _, items := range itemSets {
+			f, _ := NewFilter(1024, 2)
+			for _, e := range items {
+				f.Add(e)
+			}
+			if err := v.AddSignature(f); err != nil {
+				return false
+			}
+			sigs = append(sigs, f)
+		}
+		for _, f := range sigs {
+			if err := v.RemoveSignature(f); err != nil {
+				return false
+			}
+		}
+		return v.Members() == 0 && v.WidthBits() == 0 && v.Signature().OnesCount() == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CoversElement agrees exactly with building a one-element filter
+// and calling Covers.
+func TestCoversElementEquivalenceProperty(t *testing.T) {
+	prop := func(members []uint64, probes []uint64) bool {
+		v, err := NewPeerVector(4096, 2)
+		if err != nil {
+			return false
+		}
+		sig, _ := NewFilter(4096, 2)
+		for _, e := range members {
+			sig.Add(e)
+		}
+		if err := v.AddSignature(sig); err != nil {
+			return false
+		}
+		for _, p := range probes {
+			single, _ := NewFilter(4096, 2)
+			single.Add(p)
+			if v.Covers(single) != v.CoversElement(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

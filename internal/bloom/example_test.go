@@ -1,0 +1,50 @@
+package bloom_test
+
+import (
+	"fmt"
+
+	"repro/internal/bloom"
+)
+
+// ExampleFilter demonstrates the cache-signature membership test.
+func ExampleFilter() {
+	sig, err := bloom.NewFilter(10000, 2)
+	if err != nil {
+		panic(err)
+	}
+	for item := uint64(0); item < 100; item++ {
+		sig.Add(item)
+	}
+	fmt.Println("cached item found:", sig.Test(42))
+	fmt.Println("missing item found:", sig.Test(123456))
+	// Output:
+	// cached item found: true
+	// missing item found: false
+}
+
+// ExampleFindOptimalR shows Algorithm 4 choosing the VLFL run bound for a
+// typical 100-item cache signature.
+func ExampleFindOptimalR() {
+	r := bloom.FindOptimalR(100, 10000, 2)
+	fmt.Println("optimal R:", r)
+	fmt.Println("expected compressed bits:", bloom.ExpectedCompressedBits(100, 10000, 2))
+	// Output:
+	// optimal R: 127
+	// expected compressed bits: 1505
+}
+
+// ExamplePeerVector shows the filtering mechanism over a TCG member's
+// signature.
+func ExamplePeerVector() {
+	member, _ := bloom.NewFilter(10000, 2)
+	member.Add(7)
+	vec, _ := bloom.NewPeerVector(10000, 2)
+	if err := vec.AddSignature(member); err != nil {
+		panic(err)
+	}
+	fmt.Println("search member's item:", vec.CoversElement(7))
+	fmt.Println("search foreign item:", vec.CoversElement(999999))
+	// Output:
+	// search member's item: true
+	// search foreign item: false
+}

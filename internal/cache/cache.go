@@ -1,0 +1,195 @@
+// Package cache implements the client-side data cache used by all three
+// schemes: an LRU-ordered store of fixed item capacity with TTL-based
+// validity (the paper's lazy consistency strategy) and the inspection hooks
+// the GroCoca cooperative replacement protocol needs: peeking at the
+// ReplaceCandidate least valuable entries and per-entry SingletTTL counters.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Entry is one cached data item together with the consistency and
+// replacement metadata the protocols track.
+type Entry struct {
+	// ID is the catalog identifier.
+	ID workload.ItemID
+	// Size is the item size in bytes.
+	Size int
+	// RetrievedAt is the simulation time the copy was obtained (t_r).
+	RetrievedAt time.Duration
+	// TTL is the validity lifetime assigned by the MSS at retrieval.
+	TTL time.Duration
+	// LastAccess is the LRU timestamp; cooperative admission lets TCG
+	// providers refresh it remotely.
+	LastAccess time.Duration
+	// SingletTTL counts down replacement rounds in which this entry
+	// survived only because it had no replica in the TCG; it is reset to
+	// ReplaceDelay on access.
+	SingletTTL int
+	// Donated marks entries received via cache spillover; donations may
+	// only displace other donations and lose the mark when the owner
+	// itself accesses the item.
+	Donated bool
+	// Accesses counts Get/Touch hits on this entry — spillover's "proven
+	// useful" filter donates only items that were hit more than once.
+	Accesses int
+
+	elem *list.Element
+}
+
+// Valid reports whether the copy's TTL has not expired at time now.
+func (e *Entry) Valid(now time.Duration) bool {
+	return now <= e.RetrievedAt+e.TTL
+}
+
+// LRU is a fixed-capacity least-recently-used cache keyed by item ID. It
+// never evicts on its own: callers make room explicitly, which is where the
+// schemes' replacement policies plug in.
+type LRU struct {
+	capacity int
+	entries  map[workload.ItemID]*Entry
+	// order holds *Entry values, most recently used at the front.
+	order *list.List
+}
+
+// NewLRU creates a cache holding up to capacity items.
+func NewLRU(capacity int) (*LRU, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cache: capacity %d must be positive", capacity)
+	}
+	return &LRU{
+		capacity: capacity,
+		entries:  make(map[workload.ItemID]*Entry, capacity),
+		order:    list.New(),
+	}, nil
+}
+
+// Cap returns the capacity in items.
+func (c *LRU) Cap() int { return c.capacity }
+
+// Len returns the number of cached items.
+func (c *LRU) Len() int { return len(c.entries) }
+
+// Full reports whether the cache is at capacity.
+func (c *LRU) Full() bool { return len(c.entries) >= c.capacity }
+
+// Get returns the entry for id and promotes it to most recently used,
+// updating LastAccess to now. It returns nil when absent.
+func (c *LRU) Get(id workload.ItemID, now time.Duration) *Entry {
+	e, ok := c.entries[id]
+	if !ok {
+		return nil
+	}
+	e.LastAccess = now
+	e.Accesses++
+	c.order.MoveToFront(e.elem)
+	return e
+}
+
+// Peek returns the entry for id without disturbing recency, or nil.
+func (c *LRU) Peek(id workload.ItemID) *Entry {
+	return c.entries[id]
+}
+
+// Touch promotes id as if accessed at now, without returning it. This is
+// the remote LRU refresh the cooperative admission protocol performs when a
+// TCG member serves an item. It reports whether the item was present.
+func (c *LRU) Touch(id workload.ItemID, now time.Duration) bool {
+	e, ok := c.entries[id]
+	if !ok {
+		return false
+	}
+	e.LastAccess = now
+	e.Accesses++
+	c.order.MoveToFront(e.elem)
+	return true
+}
+
+// Add inserts an entry as most recently used. Inserting into a full cache
+// or inserting a duplicate ID is a programming error and is reported.
+func (c *LRU) Add(e *Entry) error {
+	if c.Full() {
+		return fmt.Errorf("cache: add %d into full cache", e.ID)
+	}
+	if _, ok := c.entries[e.ID]; ok {
+		return fmt.Errorf("cache: duplicate add of %d", e.ID)
+	}
+	e.elem = c.order.PushFront(e)
+	c.entries[e.ID] = e
+	return nil
+}
+
+// Remove deletes the entry for id and returns it, or nil when absent.
+func (c *LRU) Remove(id workload.ItemID) *Entry {
+	e, ok := c.entries[id]
+	if !ok {
+		return nil
+	}
+	c.order.Remove(e.elem)
+	e.elem = nil
+	delete(c.entries, id)
+	return e
+}
+
+// Victim returns the least recently used entry, or nil when empty.
+func (c *LRU) Victim() *Entry {
+	back := c.order.Back()
+	if back == nil {
+		return nil
+	}
+	e, ok := back.Value.(*Entry)
+	if !ok {
+		return nil
+	}
+	return e
+}
+
+// VictimMatching returns the least recently used entry satisfying pred, or
+// nil when none does.
+func (c *LRU) VictimMatching(pred func(*Entry) bool) *Entry {
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		if e, ok := el.Value.(*Entry); ok && pred(e) {
+			return e
+		}
+	}
+	return nil
+}
+
+// Candidates returns up to n least valuable entries, least recently used
+// first — the paper's ReplaceCandidate window. The returned slice is fresh
+// but the entries are the live cache entries.
+func (c *LRU) Candidates(n int) []*Entry {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]*Entry, 0, min(n, c.order.Len()))
+	for el := c.order.Back(); el != nil && len(out) < n; el = el.Prev() {
+		if e, ok := el.Value.(*Entry); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Items returns the IDs of all cached items in no particular order.
+func (c *LRU) Items() []workload.ItemID {
+	ids := make([]workload.ItemID, 0, len(c.entries))
+	for id := range c.entries {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Each calls fn for every entry, most recently used first.
+func (c *LRU) Each(fn func(*Entry)) {
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		if e, ok := el.Value.(*Entry); ok {
+			fn(e)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package client implements the mobile host (MH): the request loop over the
+// three caching schemes the paper compares — conventional caching (SC),
+// COCA, and GroCoca — including the P2P search protocol with adaptive
+// timeout, TTL-based consistency, client disconnection, and the full
+// GroCoca machinery (cache signature scheme, signature exchange protocol,
+// cooperative cache admission control and replacement).
+package client
+
+import (
+	"fmt"
+	"time"
+)
+
+// Scheme selects which caching protocol a host runs.
+type Scheme int
+
+// The three schemes of the paper's evaluation.
+const (
+	// SchemeSC is conventional caching: local cache, then the MSS.
+	SchemeSC Scheme = iota + 1
+	// SchemeCOCA adds the P2P peer search between the local cache and the
+	// MSS.
+	SchemeCOCA
+	// SchemeGroCoca adds tightly-coupled groups, cache signatures, and the
+	// cooperative cache management protocols on top of COCA.
+	SchemeGroCoca
+)
+
+// String returns the label used in the paper's figures.
+func (s Scheme) String() string {
+	switch s {
+	case SchemeSC:
+		return "SC"
+	case SchemeCOCA:
+		return "COCA"
+	case SchemeGroCoca:
+		return "GroCoca"
+	default:
+		return "unknown"
+	}
+}
+
+// DeliveryModel selects how misses that reach the MSS are served: the
+// paper's pull-based environment (default), a pure push broadcast disk, or
+// the hybrid of both.
+type DeliveryModel int
+
+// Delivery models. The zero value is the paper's default pull environment.
+const (
+	DeliveryPull DeliveryModel = iota
+	DeliveryPush
+	DeliveryHybrid
+)
+
+// String names the delivery model.
+func (d DeliveryModel) String() string {
+	switch d {
+	case DeliveryPull:
+		return "pull"
+	case DeliveryPush:
+		return "push"
+	case DeliveryHybrid:
+		return "hybrid"
+	default:
+		return "unknown"
+	}
+}
+
+// Config holds the per-host protocol parameters (Table II of the paper,
+// client side).
+type Config struct {
+	// Scheme is the caching protocol.
+	Scheme Scheme
+	// Delivery selects pull, push or hybrid dissemination for MSS misses.
+	Delivery DeliveryModel
+	// CacheSize is the cache capacity in data items.
+	CacheSize int
+	// DataSize is the item size in bytes (for cache entries and data
+	// messages).
+	DataSize int
+	// HopDist bounds the P2P search flood depth; 1 searches direct
+	// neighbors only.
+	HopDist int
+	// InitialTimeoutFactor is ϕ, scaling the default round-trip estimate
+	// used before the adaptive timeout has samples.
+	InitialTimeoutFactor float64
+	// TimeoutStdDevFactor is ϕ', the standard deviation multiplier in
+	// τ = τ̄ + ϕ'·σ_τ.
+	TimeoutStdDevFactor float64
+	// FixedTimeout, when positive, disables the adaptive timeout (an
+	// ablation switch).
+	FixedTimeout time.Duration
+
+	// P2PBandwidthKbps mirrors the medium bandwidth for timeout
+	// estimation.
+	P2PBandwidthKbps float64
+
+	// ServiceRadius bounds the MSS service area around ServiceCenter;
+	// zero means the whole space is covered. A host outside the area that
+	// needs the MSS records an access failure (Section III outcome 4).
+	ServiceRadius                  float64
+	ServiceCenterX, ServiceCenterY float64
+
+	// Disconnection model.
+	DiscProb         float64
+	DiscMin, DiscMax time.Duration
+
+	// Explicit update parameters (GroCoca).
+	ExplicitUpdateAfter time.Duration // τ_P
+	PeerAccessSample    float64       // ρ_P
+
+	// GroCoca cache signature scheme.
+	SigBits          int // σ
+	SigHashes        int // k
+	CacheCounterBits int // π_c
+
+	// GroCoca cooperative replacement.
+	ReplaceCandidate int
+	ReplaceDelay     int
+
+	// SigRecollectAfter batches signature recollection: the peer counter
+	// vector is reset and recollected only after this many TCG members
+	// have departed (Section IV.D.4's option for extremely dynamic
+	// networks; the delay trades recollection traffic for false
+	// positives). Values ≤ 1 recollect on every departure.
+	SigRecollectAfter int
+
+	// Spillover (the companion scheme of reference [5]: utilizing the
+	// cache space of low-activity clients). When enabled, a host evicting
+	// a still-valid item offers it to a neighbor whose request activity is
+	// below SpilloverActivityRatio of its own and whose cache has room.
+	EnableSpillover        bool
+	SpilloverActivityRatio float64
+
+	// Ablation switches.
+	DisableFilter      bool
+	DisableAdmission   bool
+	DisableCoopReplace bool
+	DisableCompression bool
+
+	// Workload bookkeeping.
+	WarmupRequests   int
+	MeasuredRequests int
+}
+
+// Validate reports whether the configuration is usable for the selected
+// scheme.
+func (c Config) Validate() error {
+	switch c.Scheme {
+	case SchemeSC, SchemeCOCA, SchemeGroCoca:
+	default:
+		return fmt.Errorf("client: unknown scheme %d", int(c.Scheme))
+	}
+	if c.CacheSize <= 0 {
+		return fmt.Errorf("client: cache size %d must be positive", c.CacheSize)
+	}
+	if c.DataSize <= 0 {
+		return fmt.Errorf("client: data size %d must be positive", c.DataSize)
+	}
+	if c.Scheme != SchemeSC {
+		if c.HopDist < 1 {
+			return fmt.Errorf("client: hop distance %d must be at least 1", c.HopDist)
+		}
+		if c.P2PBandwidthKbps <= 0 {
+			return fmt.Errorf("client: p2p bandwidth %v must be positive", c.P2PBandwidthKbps)
+		}
+		if c.InitialTimeoutFactor <= 0 && c.FixedTimeout <= 0 {
+			return fmt.Errorf("client: need a positive timeout factor or fixed timeout")
+		}
+	}
+	if c.DiscProb < 0 || c.DiscProb > 1 {
+		return fmt.Errorf("client: disconnect probability %v outside [0, 1]", c.DiscProb)
+	}
+	if c.EnableSpillover {
+		if c.Scheme == SchemeSC {
+			return fmt.Errorf("client: spillover needs a cooperative scheme")
+		}
+		if c.SpilloverActivityRatio <= 0 || c.SpilloverActivityRatio > 1 {
+			return fmt.Errorf("client: spillover activity ratio %v outside (0, 1]", c.SpilloverActivityRatio)
+		}
+	}
+	if c.DiscProb > 0 && (c.DiscMin <= 0 || c.DiscMax < c.DiscMin) {
+		return fmt.Errorf("client: disconnect duration range [%v, %v] invalid", c.DiscMin, c.DiscMax)
+	}
+	if c.Scheme == SchemeGroCoca {
+		if c.SigBits <= 0 || c.SigHashes <= 0 {
+			return fmt.Errorf("client: signature geometry (%d, %d) invalid", c.SigBits, c.SigHashes)
+		}
+		if c.CacheCounterBits < 1 || c.CacheCounterBits > 32 {
+			return fmt.Errorf("client: cache counter bits %d outside [1, 32]", c.CacheCounterBits)
+		}
+		if c.ReplaceCandidate < 1 {
+			return fmt.Errorf("client: replace candidate window %d must be at least 1", c.ReplaceCandidate)
+		}
+		if c.ReplaceDelay < 1 {
+			return fmt.Errorf("client: replace delay %d must be at least 1", c.ReplaceDelay)
+		}
+		if c.PeerAccessSample < 0 || c.PeerAccessSample > 1 {
+			return fmt.Errorf("client: peer access sample %v outside [0, 1]", c.PeerAccessSample)
+		}
+	}
+	if c.WarmupRequests < 0 || c.MeasuredRequests <= 0 {
+		return fmt.Errorf("client: request counts (warmup %d, measured %d) invalid", c.WarmupRequests, c.MeasuredRequests)
+	}
+	return nil
+}

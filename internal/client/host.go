@@ -1,0 +1,425 @@
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bloom"
+	"repro/internal/cache"
+	"repro/internal/geo"
+	"repro/internal/mobility"
+	"repro/internal/ndp"
+	"repro/internal/network"
+	"repro/internal/push"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// phase tracks where the host's outstanding request is in the COCA state
+// machine.
+type phase int
+
+const (
+	phaseWaitReply phase = iota + 1
+	phaseWaitData
+	phaseWaitServer
+	phaseWaitValidate
+	phaseWaitBroadcast
+)
+
+// pendingRequest is the host's single outstanding request (the client model
+// is closed-loop: think, request, complete, repeat).
+type pendingRequest struct {
+	seq         uint64
+	item        workload.ItemID
+	start       time.Duration
+	phase       phase
+	timeout     *sim.Event
+	broadcastAt time.Duration
+	// replyPath is the hop path from this host to the providing peer.
+	replyPath []network.NodeID
+	provider  network.NodeID
+	// replies collects every reply heard for this search (the first one
+	// selects the provider; later ones feed the longest-TTL touch
+	// selection of the cooperative admission protocol).
+	replies []replyPayload
+}
+
+// Host is one mobile host. It is driven entirely by simulation events; all
+// methods run on the kernel goroutine.
+type Host struct {
+	id        network.NodeID
+	k         *sim.Kernel
+	cfg       Config
+	mob       mobility.Node
+	medium    *network.Medium
+	link      *network.ServerLink
+	gen       *workload.Generator
+	cache     *cache.LRU
+	collector *Collector
+	ndp       *ndp.Protocol
+
+	rngDisc   *sim.RNG
+	rngSample *sim.RNG
+
+	// disk is the broadcast schedule for push/hybrid delivery; nil under
+	// the default pull environment.
+	disk *push.Disk
+
+	connected bool
+	completed int
+	seq       uint64
+	cur       *pendingRequest
+
+	// Adaptive P2P search timeout state (Welford over measured τ).
+	tau stats.Welford
+
+	// Spillover state: request activity estimate and neighbor beacon table.
+	activityGap    stats.EWMA
+	lastRequestAt  time.Duration
+	neighborStates map[network.NodeID]neighborState
+	beaconInterval time.Duration
+
+	// Flood deduplication for HopDist > 1.
+	seenFloods map[floodKey]struct{}
+
+	// GroCoca state.
+	tcg               map[network.NodeID]bool
+	ownSig            *bloom.CountingFilter
+	peerVec           *bloom.PeerVector
+	haveSig           map[network.NodeID]*bloom.Filter
+	outstandSig       map[network.NodeID]struct{}
+	insertDelta       map[int]struct{}
+	evictDelta        map[int]struct{}
+	departures        int
+	peerAccessLog     []workload.ItemID
+	lastServerContact time.Duration
+}
+
+type floodKey struct {
+	origin network.NodeID
+	seq    uint64
+}
+
+var _ network.Peer = (*Host)(nil)
+
+// NewHost builds a host. The NDP protocol is created for cooperative
+// schemes; SC hosts neither beacon nor answer peers.
+func NewHost(
+	k *sim.Kernel,
+	id network.NodeID,
+	cfg Config,
+	mob mobility.Node,
+	medium *network.Medium,
+	link *network.ServerLink,
+	gen *workload.Generator,
+	collector *Collector,
+	rng *sim.RNG,
+	ndpCfg ndp.Config,
+) (*Host, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lru, err := cache.NewLRU(cfg.CacheSize)
+	if err != nil {
+		return nil, err
+	}
+	h := &Host{
+		id:          id,
+		k:           k,
+		cfg:         cfg,
+		mob:         mob,
+		medium:      medium,
+		link:        link,
+		gen:         gen,
+		cache:       lru,
+		collector:   collector,
+		rngDisc:     rng.Stream(fmt.Sprintf("disc-%d", id)),
+		rngSample:   rng.Stream(fmt.Sprintf("sample-%d", id)),
+		connected:   true,
+		activityGap: stats.NewEWMA(0.3),
+	}
+	h.beaconInterval = ndpCfg.Interval
+	if cfg.Scheme != SchemeSC {
+		h.seenFloods = make(map[floodKey]struct{})
+		proto, err := ndp.New(k, medium, id, h.ndpConfig(ndpCfg))
+		if err != nil {
+			return nil, err
+		}
+		h.ndp = proto
+	}
+	if cfg.Scheme == SchemeGroCoca {
+		h.tcg = make(map[network.NodeID]bool)
+		h.haveSig = make(map[network.NodeID]*bloom.Filter)
+		h.outstandSig = make(map[network.NodeID]struct{})
+		h.insertDelta = make(map[int]struct{})
+		h.evictDelta = make(map[int]struct{})
+		h.ownSig, err = bloom.NewCountingFilter(cfg.SigBits, cfg.SigHashes, cfg.CacheCounterBits)
+		if err != nil {
+			return nil, err
+		}
+		h.peerVec, err = bloom.NewPeerVector(cfg.SigBits, cfg.SigHashes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// ndpConfig wires the GroCoca reconnection hook into the caller-provided
+// NDP parameters.
+func (h *Host) ndpConfig(base ndp.Config) ndp.Config {
+	cfg := base
+	cfg.OnUp = func(peer network.NodeID) {
+		h.handleNeighborUp(peer)
+		if base.OnUp != nil {
+			base.OnUp(peer)
+		}
+	}
+	if h.cfg.Scheme == SchemeGroCoca || h.cfg.EnableSpillover {
+		cfg.Beacon = h.beaconPayload
+	}
+	return cfg
+}
+
+// ID implements network.Peer.
+func (h *Host) ID() network.NodeID { return h.id }
+
+// Position implements network.Peer.
+func (h *Host) Position(t time.Duration) geo.Point { return h.mob.Position(t) }
+
+// Connected implements network.Peer.
+func (h *Host) Connected() bool { return h.connected }
+
+// Cache exposes the host's cache for tests and examples.
+func (h *Host) Cache() *cache.LRU { return h.cache }
+
+// SetBroadcastDisk attaches the push/hybrid broadcast schedule. It must be
+// called before Start when the delivery model is not pull.
+func (h *Host) SetBroadcastDisk(d *push.Disk) { h.disk = d }
+
+// TCGSize reports the host's current TCG membership count (GroCoca only).
+func (h *Host) TCGSize() int { return len(h.tcg) }
+
+// TCGMembers returns the host's current TCG member IDs (GroCoca only), in
+// unspecified order.
+func (h *Host) TCGMembers() []network.NodeID {
+	out := make([]network.NodeID, 0, len(h.tcg))
+	for id := range h.tcg {
+		out = append(out, id)
+	}
+	return out
+}
+
+// CoversItem reports whether the host's peer signature covers the item —
+// i.e. whether the filtering mechanism would search the peers for it.
+func (h *Host) CoversItem(item workload.ItemID) bool {
+	if h.peerVec == nil {
+		return false
+	}
+	return h.peerVec.CoversElement(uint64(item))
+}
+
+// Completed reports how many requests the host has finished.
+func (h *Host) Completed() int { return h.completed }
+
+// Start launches the host's NDP, explicit-update timer, and request loop.
+func (h *Host) Start() {
+	if h.ndp != nil {
+		h.ndp.Start()
+	}
+	if h.cfg.Scheme == SchemeGroCoca && h.cfg.ExplicitUpdateAfter > 0 {
+		h.k.Schedule(h.cfg.ExplicitUpdateAfter, h.explicitUpdateTick)
+	}
+	h.scheduleNextRequest()
+}
+
+// totalRequests is the host's full quota including warm-up.
+func (h *Host) totalRequests() int {
+	return h.cfg.WarmupRequests + h.cfg.MeasuredRequests
+}
+
+func (h *Host) scheduleNextRequest() {
+	if h.gen == nil {
+		return // manually driven host (tests, examples)
+	}
+	if h.completed >= h.totalRequests() {
+		h.collector.hostDone()
+		return
+	}
+	item, think := h.gen.Next()
+	h.k.Schedule(think, func() { h.beginRequest(item) })
+}
+
+// Preload inserts an item into the cache outside the protocol, maintaining
+// the cache signature. It is intended for tests and example setups.
+func (h *Host) Preload(item workload.ItemID, ttl time.Duration) error {
+	now := h.k.Now()
+	if h.cache.Peek(item) != nil {
+		return nil
+	}
+	if h.cache.Full() {
+		return fmt.Errorf("client: preload into full cache")
+	}
+	err := h.cache.Add(&cache.Entry{
+		ID:          item,
+		Size:        h.cfg.DataSize,
+		RetrievedAt: now,
+		TTL:         ttl,
+		LastAccess:  now,
+		SingletTTL:  h.cfg.ReplaceDelay,
+	})
+	if err != nil {
+		return err
+	}
+	h.sigInsert(item)
+	return nil
+}
+
+// complete finishes the outstanding request, records it if measured, runs
+// the disconnection model, and schedules the next request.
+func (h *Host) complete(outcome Outcome) {
+	p := h.cur
+	h.cur = nil
+	if p == nil {
+		return
+	}
+	if p.timeout != nil {
+		p.timeout.Cancel()
+	}
+	now := h.k.Now()
+	h.completed++
+	if h.completed == h.cfg.WarmupRequests {
+		h.collector.hostWarm(now)
+	}
+	if h.cfg.WarmupRequests == 0 && h.completed == 1 {
+		// No warm-up: the first completion flips the host warm.
+		h.collector.hostWarm(now)
+	}
+	if h.completed > h.cfg.WarmupRequests && h.collector.allWarm() {
+		h.collector.record(now, h.id, outcome, now-p.start)
+	}
+	// Client disconnection: with probability P_disc, leave the network for
+	// DiscTime before the next request.
+	if h.rngDisc.Bool(h.cfg.DiscProb) {
+		h.disconnect()
+		return
+	}
+	h.scheduleNextRequest()
+}
+
+// disconnect takes the host off the air and schedules its reconnection.
+func (h *Host) disconnect() {
+	h.connected = false
+	if h.ndp != nil {
+		h.ndp.Stop()
+	}
+	length := h.rngDisc.UniformDuration(h.cfg.DiscMin, h.cfg.DiscMax)
+	h.k.Schedule(length, h.reconnect)
+}
+
+// reconnect restores connectivity and runs the GroCoca client
+// disconnection handling protocol of Section IV.D.5.
+func (h *Host) reconnect() {
+	h.connected = true
+	if h.ndp != nil {
+		h.ndp.Start()
+	}
+	if h.cfg.Scheme == SchemeGroCoca {
+		h.reconnectSignatures()
+	}
+	h.scheduleNextRequest()
+}
+
+// explicitUpdateTick sends the explicit location/access report after τ_P of
+// server silence (GroCoca).
+func (h *Host) explicitUpdateTick() {
+	now := h.k.Now()
+	if h.connected && now-h.lastServerContact >= h.cfg.ExplicitUpdateAfter && h.inServiceArea(now) {
+		h.lastServerContact = now
+		h.link.SendUp(network.Message{
+			Kind: network.KindLocationUpdate,
+			From: h.id,
+			Size: network.ControlSize,
+			Payload: server.LocationPayload{
+				Location:     h.Position(now),
+				PeerAccesses: h.samplePeerAccesses(),
+			},
+		})
+	}
+	if h.completed < h.totalRequests() {
+		h.k.Schedule(h.cfg.ExplicitUpdateAfter, h.explicitUpdateTick)
+	}
+}
+
+// samplePeerAccesses returns a ρ_P sample of the peer-served items since
+// the last server contact and clears the log.
+func (h *Host) samplePeerAccesses() []workload.ItemID {
+	if len(h.peerAccessLog) == 0 {
+		return nil
+	}
+	var out []workload.ItemID
+	for _, it := range h.peerAccessLog {
+		if h.rngSample.Bool(h.cfg.PeerAccessSample) {
+			out = append(out, it)
+		}
+	}
+	h.peerAccessLog = h.peerAccessLog[:0]
+	return out
+}
+
+// Receive implements network.Peer: P2P traffic dispatch.
+func (h *Host) Receive(msg network.Message) {
+	switch msg.Kind {
+	case network.KindBeacon:
+		if h.ndp != nil {
+			h.ndp.HandleBeacon(msg.From)
+		}
+		if info, ok := msg.Payload.(beaconInfo); ok {
+			h.recordNeighborBeacon(msg.From, info)
+			if info.SigDelta != nil && h.cfg.Scheme == SchemeGroCoca && h.tcg[msg.From] {
+				h.applySigDelta(msg.From, info.SigDelta.Insert, info.SigDelta.Evict)
+			}
+		}
+	case network.KindRequest:
+		h.handlePeerRequest(msg)
+	case network.KindReply:
+		h.handleRelayed(msg, func(m network.Message) { h.handleReply(m) })
+	case network.KindRetrieve:
+		h.handleRelayed(msg, func(m network.Message) { h.handleRetrieve(m) })
+	case network.KindData:
+		h.handleRelayed(msg, func(m network.Message) { h.handleData(m) })
+	case network.KindSigRequest:
+		h.handleSigRequest(msg)
+	case network.KindSigReply:
+		h.handleSigReply(msg)
+	case network.KindTouch:
+		h.handleRelayed(msg, func(m network.Message) { h.handleTouch(m) })
+	case network.KindSpill:
+		h.handleSpill(msg)
+	default:
+	}
+}
+
+// ReceiveFromServer handles downlink traffic; it reports whether the host
+// accepted the message (false while disconnected, in which case the reply
+// is lost).
+func (h *Host) ReceiveFromServer(msg network.Message) bool {
+	if !h.connected {
+		return false
+	}
+	switch msg.Kind {
+	case network.KindServerReply:
+		h.handleServerReply(msg)
+	case network.KindValidateOK:
+		h.handleValidateOK(msg)
+	case network.KindLocationUpdate:
+		if payload, ok := msg.Payload.(server.MembershipPayload); ok {
+			h.applyMembershipChanges(payload.Changes)
+		}
+	default:
+	}
+	return true
+}

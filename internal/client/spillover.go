@@ -1,0 +1,182 @@
+package client
+
+import (
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/network"
+	"repro/internal/workload"
+)
+
+// Spillover implements the companion scheme of reference [5] ("utilizing
+// the cache space of low-activity clients"): hosts announce their request
+// activity and spare cache space on NDP beacons; an active host evicting a
+// still-valid item offers it to the least active neighbor with room instead
+// of dropping it, extending the group's aggregate cache onto idle devices.
+
+// beaconInfo is the hello-message payload: the GroCoca signature delta plus
+// the spillover state.
+type beaconInfo struct {
+	SigDelta *sigDeltaPayload
+	// ActivityPerSec is the host's EWMA request rate.
+	ActivityPerSec float64
+	// HasSpace reports whether the host's cache has free slots.
+	HasSpace bool
+}
+
+// spillPayload offers an evicted item to a low-activity neighbor.
+type spillPayload struct {
+	Item      workload.ItemID
+	ExpiresAt time.Duration
+}
+
+// neighborState is what a host remembers about a neighbor from its beacons.
+type neighborState struct {
+	activityPerSec float64
+	hasSpace       bool
+	heardAt        time.Duration
+}
+
+// observeActivity folds a new request into the host's activity estimate.
+func (h *Host) observeActivity(now time.Duration) {
+	if h.lastRequestAt > 0 {
+		gap := now - h.lastRequestAt
+		if gap > 0 {
+			h.activityGap.Observe(float64(gap))
+		}
+	}
+	h.lastRequestAt = now
+}
+
+// activityPerSec returns the host's estimated request rate.
+func (h *Host) activityPerSec() float64 {
+	if !h.activityGap.Set() || h.activityGap.Value() <= 0 {
+		return 0
+	}
+	return float64(time.Second) / h.activityGap.Value()
+}
+
+// recordNeighborBeacon stores a neighbor's spillover state.
+func (h *Host) recordNeighborBeacon(from network.NodeID, info beaconInfo) {
+	if !h.cfg.EnableSpillover {
+		return
+	}
+	if h.neighborStates == nil {
+		h.neighborStates = make(map[network.NodeID]neighborState)
+	}
+	h.neighborStates[from] = neighborState{
+		activityPerSec: info.ActivityPerSec,
+		hasSpace:       info.HasSpace,
+		heardAt:        h.k.Now(),
+	}
+}
+
+// spillTarget picks the least active neighbor that is fresh in the beacon
+// table and sufficiently idle relative to this host. Donations replace the
+// receiver's least-recently-used entry when its cache is full, so spare
+// space is a tie-breaker rather than a requirement. It returns false when
+// no neighbor qualifies.
+func (h *Host) spillTarget() (network.NodeID, bool) {
+	now := h.k.Now()
+	own := h.activityPerSec()
+	if own <= 0 {
+		return 0, false
+	}
+	staleAfter := 3 * h.beaconInterval
+	if staleAfter <= 0 {
+		staleAfter = 10 * time.Second
+	}
+	best := network.NodeID(-1)
+	bestActivity := own * h.cfg.SpilloverActivityRatio
+	bestSpace := false
+	for id, st := range h.neighborStates {
+		if now-st.heardAt > staleAfter {
+			continue
+		}
+		if st.activityPerSec < bestActivity ||
+			(st.activityPerSec == bestActivity && st.hasSpace && !bestSpace) {
+			best = id
+			bestActivity = st.activityPerSec
+			bestSpace = st.hasSpace
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+// maybeSpill offers a just-evicted, still-valid entry to a low-activity
+// neighbor.
+func (h *Host) maybeSpill(victim *cache.Entry) {
+	if !h.cfg.EnableSpillover || victim == nil {
+		return
+	}
+	now := h.k.Now()
+	if !victim.Valid(now) {
+		return
+	}
+	// Donate only items that proved useful (hit at least twice): one-shot
+	// tail items dominate evictions and are almost never re-requested, so
+	// shipping them is wasted energy.
+	if victim.Accesses < 2 {
+		return
+	}
+	target, ok := h.spillTarget()
+	if !ok {
+		return
+	}
+	h.collector.spillsSent++
+	h.medium.Send(network.Message{
+		Kind: network.KindSpill,
+		From: h.id,
+		To:   target,
+		Size: network.HeaderSize + h.cfg.DataSize,
+		Payload: spillPayload{
+			Item:      victim.ID,
+			ExpiresAt: victim.RetrievedAt + victim.TTL,
+		},
+	})
+}
+
+// handleSpill accepts a donated item when there is room for it.
+func (h *Host) handleSpill(msg network.Message) {
+	if !h.cfg.EnableSpillover {
+		return
+	}
+	payload, ok := msg.Payload.(spillPayload)
+	if !ok {
+		return
+	}
+	now := h.k.Now()
+	ttl := payload.ExpiresAt - now
+	if ttl <= 0 || h.cache.Peek(payload.Item) != nil {
+		return
+	}
+	// A full cache rolls only its donated window: the donation replaces
+	// the least-recently-used *donated* entry; the receiver's own items
+	// are never displaced. With no donation to replace, the offer is
+	// dropped.
+	if h.cache.Full() {
+		victim := h.cache.VictimMatching(func(e *cache.Entry) bool { return e.Donated })
+		if victim == nil {
+			return
+		}
+		h.cache.Remove(victim.ID)
+		h.sigRemove(victim.ID)
+	}
+	entry := &cache.Entry{
+		ID:          payload.Item,
+		Size:        h.cfg.DataSize,
+		RetrievedAt: now,
+		TTL:         ttl,
+		LastAccess:  now,
+		SingletTTL:  h.cfg.ReplaceDelay,
+		Donated:     true,
+	}
+	if err := h.cache.Add(entry); err != nil {
+		return
+	}
+	h.sigInsert(payload.Item)
+	h.collector.spillsAccepted++
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/geo"
+	"repro/internal/network"
+	"repro/internal/stats"
+)
+
+// Results are the metrics of one simulation run over the measured window —
+// the quantities the paper's figures plot, plus auxiliary protocol
+// counters.
+type Results struct {
+	Scheme    string
+	Completed bool // false when the safety horizon expired first
+
+	Requests uint64
+	// MeanLatency is the mean access latency over measured requests;
+	// P50/P95/P99 are the corresponding latency quantiles.
+	MeanLatency time.Duration
+	P50Latency  time.Duration
+	P95Latency  time.Duration
+	P99Latency  time.Duration
+	// Outcome ratios over measured requests.
+	LocalHitRatio      float64
+	GlobalHitRatio     float64
+	ServerRequestRatio float64
+	FailureRatio       float64
+
+	// TotalEnergy is the energy all hosts consumed over the measured
+	// window, in µW·s; EnergyBreakdown splits it by accounting category
+	// (p2p-send, bcast-recv, server-recv, ...).
+	TotalEnergy     float64
+	EnergyBreakdown map[string]float64
+	// EnergyPerGCH is total energy divided by global cache hits (the
+	// paper's power-per-GCH metric); equal to TotalEnergy when GCH = 0.
+	EnergyPerGCH float64
+
+	// DownlinkUtilization is the busy fraction of the MSS downlink — the
+	// congestion indicator behind the scalability experiment.
+	DownlinkUtilization float64
+
+	// EnergyFairness is Jain's fairness index over per-host energy: 1 when
+	// every host pays the same, lower when a few hosts carry the load.
+	EnergyFairness float64
+
+	// SimTime is the simulated time consumed; Events the kernel events
+	// processed.
+	SimTime time.Duration
+	Events  uint64
+
+	// Aux carries protocol-internal counters (validations, filter
+	// bypasses, cooperative evictions, signature traffic, ...).
+	Aux client.AuxCounters
+}
+
+func (s *Simulation) results(completed bool) Results {
+	c := s.collector
+	return Results{
+		Scheme:              s.cfg.Scheme.String(),
+		Completed:           completed,
+		Requests:            c.Requests(),
+		MeanLatency:         c.MeanLatency(),
+		P50Latency:          c.LatencyQuantile(0.5),
+		P95Latency:          c.LatencyQuantile(0.95),
+		P99Latency:          c.LatencyQuantile(0.99),
+		LocalHitRatio:       c.OutcomeRatio(client.OutcomeLocalHit),
+		GlobalHitRatio:      c.OutcomeRatio(client.OutcomeGlobalHit),
+		ServerRequestRatio:  c.OutcomeRatio(client.OutcomeServerRequest),
+		FailureRatio:        c.OutcomeRatio(client.OutcomeFailure),
+		TotalEnergy:         c.TotalEnergy(),
+		EnergyBreakdown:     s.meter.Breakdown(),
+		EnergyPerGCH:        c.EnergyPerGlobalHit(),
+		DownlinkUtilization: s.link.DownlinkUtilization(),
+		EnergyFairness:      energyFairness(s.meter),
+		SimTime:             s.kernel.Now(),
+		Events:              s.kernel.Processed(),
+		Aux:                 c.Aux(),
+	}
+}
+
+// String renders a one-line summary.
+func (r Results) String() string {
+	return fmt.Sprintf(
+		"%-8s latency=%-10v LCH=%5.1f%% GCH=%5.1f%% server=%5.1f%% power/GCH=%.0fµWs (n=%d)",
+		r.Scheme, r.MeanLatency.Round(100*time.Microsecond),
+		100*r.LocalHitRatio, 100*r.GlobalHitRatio, 100*r.ServerRequestRatio,
+		r.EnergyPerGCH, r.Requests,
+	)
+}
+
+// Run is the one-call convenience API: assemble and run a simulation.
+func Run(cfg Config) (Results, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Results{}, err
+	}
+	return s.Run()
+}
+
+// energyFairness computes Jain's index over the per-host energy accounts.
+func energyFairness(m *network.Meter) float64 {
+	perNode := m.PerNode()
+	values := make([]float64, 0, len(perNode))
+	for _, e := range perNode {
+		values = append(values, e)
+	}
+	return stats.JainIndex(values)
+}
+
+// geoRect builds the movement space rectangle.
+func geoRect(w, h float64) geo.Rect { return geo.NewRect(w, h) }

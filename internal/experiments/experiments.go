@@ -1,0 +1,318 @@
+// Package experiments defines the paper's evaluation suite: one experiment
+// per figure (Figures 2–8), each sweeping a single parameter across the
+// three schemes and reporting the four metrics every figure plots — access
+// latency, server request ratio, global cache hit ratio, and power per
+// global cache hit — plus the ablation suite for GroCoca's design choices.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Experiment is one parameter sweep of the evaluation section.
+type Experiment struct {
+	// ID is the short handle used on the command line (e.g. "cachesize").
+	ID string
+	// Figure names the paper figure the sweep reproduces.
+	Figure string
+	// Title describes the sweep.
+	Title string
+	// Param is the swept parameter's display name.
+	Param string
+	// Values are the swept parameter values.
+	Values []float64
+	// Schemes are the protocols compared (all three by default).
+	Schemes []core.Scheme
+	// Apply sets the swept parameter on a config.
+	Apply func(cfg *core.Config, value float64)
+	// FormatValue renders a parameter value for the table.
+	FormatValue func(value float64) string
+}
+
+// Point is one measured cell of a sweep.
+type Point struct {
+	Value   float64
+	Scheme  core.Scheme
+	Results core.Results
+}
+
+// Options scales an experiment run.
+type Options struct {
+	// Base is the configuration every sweep starts from; zero value means
+	// core.DefaultConfig.
+	Base *core.Config
+	// Seed overrides the base seed when non-zero.
+	Seed int64
+	// WarmupRequests / MeasuredRequests override the base counts when
+	// positive.
+	WarmupRequests   int
+	MeasuredRequests int
+	// Progress, when set, receives a line per completed cell.
+	Progress func(string)
+}
+
+func (o Options) baseConfig() core.Config {
+	cfg := core.DefaultConfig()
+	if o.Base != nil {
+		cfg = *o.Base
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	if o.WarmupRequests > 0 {
+		cfg.WarmupRequests = o.WarmupRequests
+	}
+	if o.MeasuredRequests > 0 {
+		cfg.MeasuredRequests = o.MeasuredRequests
+	}
+	return cfg
+}
+
+// Run executes the sweep and returns one point per (value, scheme) cell.
+func (e Experiment) Run(opts Options) ([]Point, error) {
+	schemes := e.Schemes
+	if len(schemes) == 0 {
+		schemes = []core.Scheme{core.SchemeSC, core.SchemeCOCA, core.SchemeGroCoca}
+	}
+	points := make([]Point, 0, len(e.Values)*len(schemes))
+	for _, v := range e.Values {
+		for _, scheme := range schemes {
+			cfg := opts.baseConfig()
+			cfg.Scheme = scheme
+			e.Apply(&cfg, v)
+			r, err := core.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiment %s (%s=%v, %v): %w", e.ID, e.Param, v, scheme, err)
+			}
+			points = append(points, Point{Value: v, Scheme: scheme, Results: r})
+			if opts.Progress != nil {
+				opts.Progress(fmt.Sprintf("%s %s=%s %v", e.ID, e.Param, e.format(v), r))
+			}
+		}
+	}
+	return points, nil
+}
+
+func (e Experiment) format(v float64) string {
+	if e.FormatValue != nil {
+		return e.FormatValue(v)
+	}
+	return strings.TrimSuffix(strings.TrimSuffix(fmt.Sprintf("%.2f", v), "0"), ".")
+}
+
+// Table renders the measured points as the four-metric table of the paper's
+// figures.
+func (e Experiment) Table(points []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s)\n", e.Figure, e.Title, e.Param)
+	// The failure column appears only when some cell has failures (the
+	// default full-coverage setting never fails).
+	showFail := false
+	for _, p := range points {
+		if p.Results.FailureRatio > 0 {
+			showFail = true
+			break
+		}
+	}
+	failHeader := ""
+	if showFail {
+		failHeader = "    fail%"
+	}
+	fmt.Fprintf(&b, "%-10s %-8s %12s %12s %8s %8s%s %14s %12s\n",
+		e.Param, "scheme", "latency(ms)", "server-req%", "LCH%", "GCH%", failHeader, "power/GCH(µWs)", "energy(J)")
+	for _, p := range points {
+		r := p.Results
+		powerPerGCH := "-"
+		if r.GlobalHitRatio > 0 {
+			powerPerGCH = fmt.Sprintf("%.0f", r.EnergyPerGCH)
+		}
+		if showFail {
+			fmt.Fprintf(&b, "%-10s %-8s %12.2f %12.1f %8.1f %8.1f %8.1f %14s %12.2f\n",
+				e.format(p.Value), r.Scheme,
+				float64(r.MeanLatency)/float64(time.Millisecond),
+				100*r.ServerRequestRatio,
+				100*r.LocalHitRatio,
+				100*r.GlobalHitRatio,
+				100*r.FailureRatio,
+				powerPerGCH,
+				r.TotalEnergy/1e6,
+			)
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s %-8s %12.2f %12.1f %8.1f %8.1f %14s %12.2f\n",
+			e.format(p.Value), r.Scheme,
+			float64(r.MeanLatency)/float64(time.Millisecond),
+			100*r.ServerRequestRatio,
+			100*r.LocalHitRatio,
+			100*r.GlobalHitRatio,
+			powerPerGCH,
+			r.TotalEnergy/1e6,
+		)
+	}
+	return b.String()
+}
+
+func formatInt(v float64) string { return fmt.Sprintf("%.0f", v) }
+
+// All returns the seven figure experiments in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{
+			ID:     "cachesize",
+			Figure: "Fig 2",
+			Title:  "effect of cache size on system performance",
+			Param:  "CacheSize",
+			Values: []float64{50, 100, 150, 200, 250},
+			Apply: func(cfg *core.Config, v float64) {
+				cfg.CacheSize = int(v)
+				// The paper measures after all caches are full; make sure
+				// the warm-up is long enough to fill the largest caches.
+				if min := int(2.5 * v); cfg.WarmupRequests < min {
+					cfg.WarmupRequests = min
+				}
+			},
+			FormatValue: formatInt,
+		},
+		{
+			ID:     "skew",
+			Figure: "Fig 3",
+			Title:  "effect of access skewness on system performance",
+			Param:  "theta",
+			Values: []float64{0, 0.25, 0.5, 0.75, 1},
+			Apply: func(cfg *core.Config, v float64) {
+				cfg.Zipf = v
+			},
+		},
+		{
+			ID:     "accessrange",
+			Figure: "Fig 4",
+			Title:  "effect of access range on system performance",
+			Param:  "AccessRange",
+			Values: []float64{100, 250, 500, 750, 1000},
+			Apply: func(cfg *core.Config, v float64) {
+				cfg.AccessRange = int(v)
+			},
+			FormatValue: formatInt,
+		},
+		{
+			ID:     "groupsize",
+			Figure: "Fig 5",
+			Title:  "effect of motion group size on system performance",
+			Param:  "GroupSize",
+			Values: []float64{1, 5, 10, 15, 20, 25},
+			Apply: func(cfg *core.Config, v float64) {
+				cfg.GroupSize = int(v)
+			},
+			FormatValue: formatInt,
+		},
+		{
+			ID:     "updaterate",
+			Figure: "Fig 6",
+			Title:  "effect of data item update rate on system performance",
+			Param:  "UpdateRate",
+			Values: []float64{0, 1, 5, 10, 50, 100},
+			Apply: func(cfg *core.Config, v float64) {
+				cfg.DataUpdateRate = v
+			},
+			FormatValue: formatInt,
+		},
+		{
+			ID:     "clients",
+			Figure: "Fig 7",
+			Title:  "effect of number of mobile hosts on system performance",
+			Param:  "NumClients",
+			Values: []float64{50, 100, 150, 200, 250, 300},
+			Apply: func(cfg *core.Config, v float64) {
+				cfg.NumClients = int(v)
+			},
+			FormatValue: formatInt,
+		},
+		{
+			ID:     "disconnect",
+			Figure: "Fig 8",
+			Title:  "effect of client disconnection on system performance",
+			Param:  "P_disc",
+			Values: []float64{0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3},
+			Apply: func(cfg *core.Config, v float64) {
+				cfg.DiscProb = v
+			},
+		},
+	}
+}
+
+// Lookup finds an experiment by its command-line ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Ablation is one GroCoca design-choice switch evaluated at the default
+// operating point.
+type Ablation struct {
+	ID    string
+	Title string
+	Apply func(cfg *core.Config)
+}
+
+// Ablations returns the design-choice sweep of DESIGN.md.
+func Ablations() []Ablation {
+	return []Ablation{
+		{ID: "full", Title: "GroCoca, all mechanisms on", Apply: func(*core.Config) {}},
+		{ID: "nofilter", Title: "without signature filtering", Apply: func(c *core.Config) { c.DisableFilter = true }},
+		{ID: "noadmission", Title: "without cooperative admission control", Apply: func(c *core.Config) { c.DisableAdmission = true }},
+		{ID: "nocoopreplace", Title: "without cooperative replacement", Apply: func(c *core.Config) { c.DisableCoopReplace = true }},
+		{ID: "nocompression", Title: "without signature compression", Apply: func(c *core.Config) { c.DisableCompression = true }},
+		{ID: "fixedtimeout", Title: "fixed 20ms timeout instead of adaptive", Apply: func(c *core.Config) { c.FixedTimeout = 20 * time.Millisecond }},
+	}
+}
+
+// RunAblations evaluates each ablation with the GroCoca scheme and returns
+// the results keyed by ablation ID, in definition order.
+func RunAblations(opts Options) ([]Ablation, []core.Results, error) {
+	abls := Ablations()
+	results := make([]core.Results, 0, len(abls))
+	for _, a := range abls {
+		cfg := opts.baseConfig()
+		cfg.Scheme = core.SchemeGroCoca
+		a.Apply(&cfg)
+		r, err := core.Run(cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("ablation %s: %w", a.ID, err)
+		}
+		results = append(results, r)
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("ablation %s: %v", a.ID, r))
+		}
+	}
+	return abls, results, nil
+}
+
+// AblationTable renders the ablation results.
+func AblationTable(abls []Ablation, results []core.Results) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "GroCoca ablations (default operating point)\n")
+	fmt.Fprintf(&b, "%-14s %12s %12s %8s %8s %14s %12s %12s\n",
+		"variant", "latency(ms)", "server-req%", "LCH%", "GCH%", "power/GCH(µWs)", "energy(J)", "sig-KB")
+	for i, a := range abls {
+		r := results[i]
+		fmt.Fprintf(&b, "%-14s %12.2f %12.1f %8.1f %8.1f %14.0f %12.2f %12.1f\n",
+			a.ID,
+			float64(r.MeanLatency)/float64(time.Millisecond),
+			100*r.ServerRequestRatio,
+			100*r.LocalHitRatio,
+			100*r.GlobalHitRatio,
+			r.EnergyPerGCH,
+			r.TotalEnergy/1e6,
+			float64(r.Aux.SigBytes)/1024,
+		)
+	}
+	return b.String()
+}

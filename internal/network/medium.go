@@ -1,0 +1,208 @@
+package network
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/sim"
+)
+
+// Peer is a mobile host attached to the medium. Position and Connected are
+// sampled at transmission-completion time to decide reachability; Receive is
+// invoked once per delivered message.
+type Peer interface {
+	ID() NodeID
+	Position(t time.Duration) geo.Point
+	Connected() bool
+	Receive(msg Message)
+}
+
+// Medium is the shared P2P wireless channel: every mobile host has one
+// half-duplex NIC modelled as a single-capacity FCFS resource; a message
+// occupies the sender's NIC for size/bandwidth, and on completion it is
+// delivered to every connected peer within TranRange (broadcast) or to the
+// destination with bystander discard costs (point-to-point).
+type Medium struct {
+	k      *sim.Kernel
+	bwKbps float64
+	rangeM float64
+	power  PowerModel
+	meter  *Meter
+	peers  map[NodeID]Peer
+	order  []NodeID // registration order, for deterministic iteration
+	nics   map[NodeID]*sim.Resource
+	// stats
+	sent, delivered, dropped uint64
+	bytesSent                uint64
+}
+
+// MediumConfig parameterises the medium.
+type MediumConfig struct {
+	// BandwidthKbps is BW_P2P.
+	BandwidthKbps float64
+	// RangeM is TranRange in metres.
+	RangeM float64
+	// Power is the Table I model.
+	Power PowerModel
+}
+
+// NewMedium creates an empty medium served by k, charging energy to meter.
+func NewMedium(k *sim.Kernel, cfg MediumConfig, meter *Meter) (*Medium, error) {
+	if cfg.BandwidthKbps <= 0 {
+		return nil, fmt.Errorf("network: bandwidth %v must be positive", cfg.BandwidthKbps)
+	}
+	if cfg.RangeM <= 0 {
+		return nil, fmt.Errorf("network: range %v must be positive", cfg.RangeM)
+	}
+	if meter == nil {
+		meter = NewMeter()
+	}
+	return &Medium{
+		k:      k,
+		bwKbps: cfg.BandwidthKbps,
+		rangeM: cfg.RangeM,
+		power:  cfg.Power,
+		meter:  meter,
+		peers:  make(map[NodeID]Peer),
+		nics:   make(map[NodeID]*sim.Resource),
+	}, nil
+}
+
+// Register attaches a peer to the medium. Registering a duplicate ID is an
+// error.
+func (m *Medium) Register(p Peer) error {
+	if _, ok := m.peers[p.ID()]; ok {
+		return fmt.Errorf("network: duplicate peer %d", p.ID())
+	}
+	m.peers[p.ID()] = p
+	m.order = append(m.order, p.ID())
+	m.nics[p.ID()] = sim.NewResource(m.k, 1)
+	return nil
+}
+
+// Meter returns the energy meter the medium charges to.
+func (m *Medium) Meter() *Meter { return m.meter }
+
+// RangeM returns the transmission range in metres.
+func (m *Medium) RangeM() float64 { return m.rangeM }
+
+// inRange reports whether two connected peers can hear each other now.
+func (m *Medium) inRange(a, b Peer, now time.Duration) bool {
+	return geo.WithinRange(a.Position(now), b.Position(now), m.rangeM)
+}
+
+// Neighbors returns the IDs of connected peers currently within range of
+// id, in registration order. The node itself is excluded; a disconnected or
+// unknown node has no neighbors.
+func (m *Medium) Neighbors(id NodeID) []NodeID {
+	self, ok := m.peers[id]
+	if !ok || !self.Connected() {
+		return nil
+	}
+	now := m.k.Now()
+	var out []NodeID
+	for _, oid := range m.order {
+		if oid == id {
+			continue
+		}
+		p := m.peers[oid]
+		if p.Connected() && m.inRange(self, p, now) {
+			out = append(out, oid)
+		}
+	}
+	return out
+}
+
+// Broadcast transmits msg from its From node to every connected peer in
+// range. The message spends size/bandwidth on the sender's NIC first
+// (queueing FCFS behind earlier traffic); reachability is evaluated at
+// completion time.
+func (m *Medium) Broadcast(msg Message) {
+	src, ok := m.peers[msg.From]
+	if !ok {
+		return
+	}
+	msg.To = BroadcastID
+	m.sent++
+	m.bytesSent += uint64(msg.Size)
+	m.nics[msg.From].Use(TxTime(msg.Size, m.bwKbps), func() {
+		if !src.Connected() {
+			m.dropped++
+			return
+		}
+		now := m.k.Now()
+		m.meter.Charge(msg.From, EnergyBroadcastSend, m.power.BSend.Energy(msg.Size))
+		for _, oid := range m.order {
+			if oid == msg.From {
+				continue
+			}
+			p := m.peers[oid]
+			if !p.Connected() || !m.inRange(src, p, now) {
+				continue
+			}
+			m.meter.Charge(oid, EnergyBroadcastRecv, m.power.BRecv.Energy(msg.Size))
+			m.delivered++
+			p.Receive(msg)
+		}
+	})
+}
+
+// Send transmits msg point-to-point from msg.From to msg.To. If the
+// destination is out of range or disconnected at completion time the
+// message is lost. Bystanders in range of the source and/or destination pay
+// the Table I discard costs.
+func (m *Medium) Send(msg Message) {
+	src, ok := m.peers[msg.From]
+	if !ok {
+		return
+	}
+	dst, ok := m.peers[msg.To]
+	if !ok {
+		return
+	}
+	m.sent++
+	m.bytesSent += uint64(msg.Size)
+	m.nics[msg.From].Use(TxTime(msg.Size, m.bwKbps), func() {
+		if !src.Connected() {
+			m.dropped++
+			return
+		}
+		now := m.k.Now()
+		m.meter.Charge(msg.From, EnergyP2PSend, m.power.Send.Energy(msg.Size))
+		reachable := dst.Connected() && m.inRange(src, dst, now)
+		if reachable {
+			m.meter.Charge(msg.To, EnergyP2PRecv, m.power.Recv.Energy(msg.Size))
+		} else {
+			m.dropped++
+		}
+		for _, oid := range m.order {
+			if oid == msg.From || oid == msg.To {
+				continue
+			}
+			p := m.peers[oid]
+			if !p.Connected() {
+				continue
+			}
+			nearSrc := m.inRange(src, p, now)
+			nearDst := reachable && m.inRange(dst, p, now)
+			switch {
+			case nearSrc && nearDst:
+				m.meter.Charge(oid, EnergyP2PDiscard, m.power.DiscardBoth.Energy(msg.Size))
+			case nearSrc:
+				m.meter.Charge(oid, EnergyP2PDiscard, m.power.DiscardSrc.Energy(msg.Size))
+			case nearDst:
+				m.meter.Charge(oid, EnergyP2PDiscard, m.power.DiscardDst.Energy(msg.Size))
+			}
+		}
+		if reachable {
+			m.delivered++
+			dst.Receive(msg)
+		}
+	})
+}
+
+// Stats reports message counts since creation.
+func (m *Medium) Stats() (sent, delivered, dropped, bytesSent uint64) {
+	return m.sent, m.delivered, m.dropped, m.bytesSent
+}

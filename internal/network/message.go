@@ -1,0 +1,101 @@
+// Package network models the paper's communication substrate: a single-hop
+// (optionally multi-hop flooded) half-duplex P2P wireless medium between
+// mobile hosts, the shared uplink/downlink channels to the mobile support
+// station, and the Feeney–Nilsson linear power consumption model of Table I.
+//
+// Transmissions occupy the sender's NIC for size/bandwidth of simulated
+// time, queueing FCFS behind earlier transmissions, which is what produces
+// the congestion effects (rising latency with motion-group size, saturated
+// server downlink) that the paper's figures hinge on.
+package network
+
+import "time"
+
+// NodeID identifies a mobile host on the medium. The MSS is not a medium
+// node; it is reached through the ServerLink.
+type NodeID int
+
+// BroadcastID is the destination of P2P broadcast messages.
+const BroadcastID NodeID = -1
+
+// Kind enumerates the protocol message types.
+type Kind int
+
+// Message kinds, covering the COCA protocol (request/reply/retrieve/data),
+// the GroCoca signature exchange, NDP beacons, and the client–MSS
+// exchanges.
+const (
+	KindBeacon Kind = iota + 1
+	KindRequest
+	KindReply
+	KindRetrieve
+	KindData
+	KindSigRequest
+	KindSigReply
+	KindServerRequest
+	KindServerReply
+	KindValidate
+	KindValidateOK
+	KindLocationUpdate
+	KindTouch
+	KindSpill
+)
+
+var kindNames = map[Kind]string{
+	KindBeacon:         "beacon",
+	KindRequest:        "request",
+	KindReply:          "reply",
+	KindRetrieve:       "retrieve",
+	KindData:           "data",
+	KindSigRequest:     "sig-request",
+	KindSigReply:       "sig-reply",
+	KindServerRequest:  "server-request",
+	KindServerReply:    "server-reply",
+	KindValidate:       "validate",
+	KindValidateOK:     "validate-ok",
+	KindLocationUpdate: "location-update",
+	KindTouch:          "touch",
+	KindSpill:          "spill",
+}
+
+// String returns the protocol name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// Message is one protocol message. Size is the on-air size in bytes and
+// fully determines transmission time and power; Payload carries the
+// protocol content and is never serialised.
+type Message struct {
+	Kind    Kind
+	From    NodeID
+	To      NodeID
+	Size    int
+	Payload any
+}
+
+// Default message sizes in bytes. Control messages are small fixed-size
+// frames; data messages add HeaderSize to the item size.
+const (
+	BeaconSize     = 20
+	ControlSize    = 40
+	HeaderSize     = 40
+	RequestSize    = ControlSize
+	ReplySize      = ControlSize
+	RetrieveSize   = ControlSize
+	SigRequestSize = ControlSize
+	ValidateSize   = ControlSize
+)
+
+// TxTime returns the time to transmit size bytes at bwKbps kilobits per
+// second.
+func TxTime(size int, bwKbps float64) time.Duration {
+	if bwKbps <= 0 || size <= 0 {
+		return 0
+	}
+	seconds := float64(size*8) / (bwKbps * 1000)
+	return time.Duration(seconds * float64(time.Second))
+}

@@ -1,0 +1,114 @@
+package network
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ServerLink models the infrastructure channel between the mobile hosts and
+// the MSS: a shared FCFS uplink carrying client requests and a shared FCFS
+// downlink carrying replies. The downlink is the scalability bottleneck of
+// the paper's pull-based environment — every cache miss queues a DataSize
+// transmission on it.
+type ServerLink struct {
+	k        *sim.Kernel
+	uplink   *sim.Resource
+	downlink *sim.Resource
+	upKbps   float64
+	downKbps float64
+	power    PowerModel
+	meter    *Meter
+	// handler receives uplink messages at the MSS.
+	handler func(msg Message)
+	// deliver hands downlink messages to a client; it reports whether the
+	// client accepted it (false when disconnected).
+	deliver func(to NodeID, msg Message) bool
+	// stats
+	upCount, downCount, downDropped uint64
+}
+
+// ServerLinkConfig parameterises the infrastructure channel.
+type ServerLinkConfig struct {
+	UplinkKbps   float64
+	DownlinkKbps float64
+	Power        PowerModel
+}
+
+// NewServerLink creates the channel pair.
+func NewServerLink(k *sim.Kernel, cfg ServerLinkConfig, meter *Meter) (*ServerLink, error) {
+	if cfg.UplinkKbps <= 0 || cfg.DownlinkKbps <= 0 {
+		return nil, fmt.Errorf("network: server bandwidths (%v, %v) must be positive", cfg.UplinkKbps, cfg.DownlinkKbps)
+	}
+	if meter == nil {
+		meter = NewMeter()
+	}
+	return &ServerLink{
+		k:        k,
+		uplink:   sim.NewResource(k, 1),
+		downlink: sim.NewResource(k, 1),
+		upKbps:   cfg.UplinkKbps,
+		downKbps: cfg.DownlinkKbps,
+		power:    cfg.Power,
+		meter:    meter,
+	}, nil
+}
+
+// SetHandler installs the MSS-side uplink handler. It must be set before
+// any SendUp call.
+func (l *ServerLink) SetHandler(h func(msg Message)) { l.handler = h }
+
+// SetDeliver installs the downlink delivery function, which routes a
+// message to the addressed client and reports acceptance.
+func (l *ServerLink) SetDeliver(d func(to NodeID, msg Message) bool) { l.deliver = d }
+
+// SendUp queues msg on the shared uplink; the MSS handler runs when the
+// transmission completes. The sending client pays infrastructure-NIC send
+// energy.
+func (l *ServerLink) SendUp(msg Message) {
+	l.upCount++
+	l.meter.Charge(msg.From, EnergyServerSend, l.power.ServerSend.Energy(msg.Size))
+	l.uplink.Use(TxTime(msg.Size, l.upKbps), func() {
+		if l.handler != nil {
+			l.handler(msg)
+		}
+	})
+}
+
+// SendDown queues msg on the shared downlink for the addressed client; the
+// client pays infrastructure-NIC receive energy when it accepts the
+// message. Messages to disconnected clients are dropped silently (the
+// client re-requests after reconnecting).
+func (l *ServerLink) SendDown(msg Message) {
+	l.downCount++
+	l.downlink.Use(TxTime(msg.Size, l.downKbps), func() {
+		if l.deliver == nil {
+			l.downDropped++
+			return
+		}
+		if l.deliver(msg.To, msg) {
+			l.meter.Charge(msg.To, EnergyServerRecv, l.power.ServerRecv.Energy(msg.Size))
+		} else {
+			l.downDropped++
+		}
+	})
+}
+
+// DownlinkUtilization reports the fraction of time the downlink has been
+// busy, the saturation measure behind the scalability experiment.
+func (l *ServerLink) DownlinkUtilization() float64 { return l.downlink.Utilization() }
+
+// DownlinkQueue reports the number of replies waiting for the downlink.
+func (l *ServerLink) DownlinkQueue() int { return l.downlink.QueueLen() }
+
+// Stats reports message counts since creation.
+func (l *ServerLink) Stats() (up, down, downDropped uint64) {
+	return l.upCount, l.downCount, l.downDropped
+}
+
+// TxTimes exposes the transmission times for a message of the given size on
+// each direction, for protocol timeout computation.
+func (l *ServerLink) TxTimes(size int) (up, down time.Duration) {
+	return TxTime(size, l.upKbps), TxTime(size, l.downKbps)
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MapHost is one mobile host to plot on the ASCII map.
+type MapHost struct {
+	// X, Y is the position in metres.
+	X, Y float64
+	// Group is the motion group index; it selects the letter drawn.
+	Group int
+	// InTCG draws the host uppercase when it currently has TCG members.
+	InTCG bool
+}
+
+// RenderMap draws host positions over a width×height metre space on a
+// cols×rows character grid. Hosts render as their motion group's letter —
+// uppercase when the host has tightly-coupled group members, lowercase
+// otherwise; '+' marks cells holding several hosts of different groups,
+// and '@' marks the space center (the MSS).
+func RenderMap(width, height float64, cols, rows int, hosts []MapHost) (string, error) {
+	if width <= 0 || height <= 0 {
+		return "", fmt.Errorf("report: map space %vx%v invalid", width, height)
+	}
+	if cols < 4 || rows < 4 {
+		return "", fmt.Errorf("report: map grid %dx%d too small", cols, rows)
+	}
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = make([]rune, cols)
+		for c := range grid[r] {
+			grid[r][c] = '.'
+		}
+	}
+	// Track which group occupies each cell to detect mixtures.
+	owner := make([][]int, rows)
+	for r := range owner {
+		owner[r] = make([]int, cols)
+		for c := range owner[r] {
+			owner[r][c] = -1
+		}
+	}
+	clampIdx := func(v, max int) int {
+		if v < 0 {
+			return 0
+		}
+		if v >= max {
+			return max - 1
+		}
+		return v
+	}
+	for _, h := range hosts {
+		c := clampIdx(int(h.X/width*float64(cols)), cols)
+		r := clampIdx(int(h.Y/height*float64(rows)), rows)
+		letter := rune('a' + h.Group%26)
+		if h.InTCG {
+			letter = rune('A' + h.Group%26)
+		}
+		switch owner[r][c] {
+		case -1:
+			grid[r][c] = letter
+			owner[r][c] = h.Group
+		case h.Group:
+			// Same group stacking: keep the uppercase variant if any.
+			if h.InTCG {
+				grid[r][c] = letter
+			}
+		default:
+			grid[r][c] = '+'
+		}
+	}
+	// The MSS sits at the space center.
+	grid[rows/2][cols/2] = '@'
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%.0fm x %.0fm, %d hosts ('A' = in a TCG, 'a' = not, '+' = mixed cell, '@' = MSS)\n",
+		width, height, len(hosts))
+	b.WriteString("+" + strings.Repeat("-", cols) + "+\n")
+	for r := rows - 1; r >= 0; r-- { // y grows upward
+		b.WriteString("|")
+		b.WriteString(string(grid[r]))
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", cols) + "+\n")
+	return b.String(), nil
+}

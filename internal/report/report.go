@@ -1,0 +1,176 @@
+// Package report renders the CSV output of the benchmark harness
+// (grococa-bench -csv) as ASCII bar charts, one chart per experiment and
+// metric — a terminal-friendly regeneration of the paper's figures.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Row is one measured cell from the harness CSV.
+type Row struct {
+	Experiment string
+	Figure     string
+	ParamName  string
+	ParamValue string
+	Scheme     string
+	Metrics    map[string]float64
+}
+
+// fixedColumns are the non-metric CSV columns by position: experiment,
+// figure, <param>, scheme. Everything after is a metric.
+const fixedColumns = 4
+
+// ParseCSV reads harness CSV output (possibly several concatenated tables,
+// each with its own header) into rows.
+func ParseCSV(r io.Reader) ([]Row, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var rows []Row
+	var header []string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("report: read csv: %w", err)
+		}
+		if len(rec) < fixedColumns+1 {
+			return nil, fmt.Errorf("report: row has %d fields, need at least %d", len(rec), fixedColumns+1)
+		}
+		if rec[0] == "experiment" {
+			header = rec
+			continue
+		}
+		if header == nil {
+			return nil, fmt.Errorf("report: data before header")
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("report: row has %d fields, header has %d", len(rec), len(header))
+		}
+		row := Row{
+			Experiment: rec[0],
+			Figure:     rec[1],
+			ParamName:  header[2],
+			ParamValue: rec[2],
+			Scheme:     rec[3],
+			Metrics:    make(map[string]float64, len(header)-fixedColumns),
+		}
+		for i := fixedColumns; i < len(rec); i++ {
+			v, err := strconv.ParseFloat(rec[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("report: metric %s: %w", header[i], err)
+			}
+			row.Metrics[header[i]] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Metrics lists the metric names present across the rows, sorted.
+func Metrics(rows []Row) []string {
+	set := map[string]struct{}{}
+	for _, r := range rows {
+		for m := range r.Metrics {
+			set[m] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Experiments lists the experiment IDs in first-appearance order.
+func Experiments(rows []Row) []string {
+	var out []string
+	seen := map[string]struct{}{}
+	for _, r := range rows {
+		if _, ok := seen[r.Experiment]; !ok {
+			seen[r.Experiment] = struct{}{}
+			out = append(out, r.Experiment)
+		}
+	}
+	return out
+}
+
+// Render draws one experiment × metric chart: a bar per (parameter value,
+// scheme) cell, scaled to the maximum value. width is the bar area in
+// characters.
+func Render(rows []Row, experiment, metric string, width int) (string, error) {
+	if width < 10 {
+		width = 10
+	}
+	var cells []Row
+	for _, r := range rows {
+		if r.Experiment != experiment {
+			continue
+		}
+		if _, ok := r.Metrics[metric]; ok {
+			cells = append(cells, r)
+		}
+	}
+	if len(cells) == 0 {
+		return "", fmt.Errorf("report: no rows for experiment %q metric %q", experiment, metric)
+	}
+	maxV := 0.0
+	for _, c := range cells {
+		if v := c.Metrics[metric]; v > maxV {
+			maxV = v
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s) — %s by %s\n", experiment, cells[0].Figure, metric, cells[0].ParamName)
+	lastParam := ""
+	for _, c := range cells {
+		if c.ParamValue != lastParam {
+			if lastParam != "" {
+				b.WriteByte('\n')
+			}
+			fmt.Fprintf(&b, "%s = %s\n", c.ParamName, c.ParamValue)
+			lastParam = c.ParamValue
+		}
+		v := c.Metrics[metric]
+		bar := 0
+		if maxV > 0 {
+			bar = int(v / maxV * float64(width))
+		}
+		if bar == 0 && v > 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "  %-8s %12.2f %s\n", c.Scheme, v, strings.Repeat("█", bar))
+	}
+	return b.String(), nil
+}
+
+// RenderAll draws every experiment found in the rows for the given metrics
+// (all metrics when none are named).
+func RenderAll(rows []Row, metrics []string, width int) (string, error) {
+	if len(metrics) == 0 {
+		metrics = []string{"latency_ms", "server_req_ratio", "gch_ratio", "power_per_gch_uws"}
+	}
+	var b strings.Builder
+	for _, exp := range Experiments(rows) {
+		for _, m := range metrics {
+			chart, err := Render(rows, exp, m, width)
+			if err != nil {
+				continue // metric absent for this experiment
+			}
+			b.WriteString(chart)
+			b.WriteByte('\n')
+		}
+	}
+	if b.Len() == 0 {
+		return "", fmt.Errorf("report: nothing to render")
+	}
+	return b.String(), nil
+}

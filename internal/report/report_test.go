@@ -1,0 +1,237 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `experiment,figure,cachesize,scheme,latency_ms,server_req_ratio,lch_ratio,gch_ratio,failure_ratio,power_per_gch_uws,total_energy_j,requests
+cachesize,Fig 2,50,SC,368.87,0.842,0.158,0.0000,0.0,55310000.0,55.31,9000
+cachesize,Fig 2,50,COCA,29.32,0.505,0.158,0.337,0.0,26208.0,187.47,9000
+cachesize,Fig 2,50,GroCoca,20.98,0.405,0.125,0.470,0.0,21842.0,219.14,9000
+cachesize,Fig 2,100,SC,148.26,0.703,0.297,0.0000,0.0,41870000.0,41.87,9000
+cachesize,Fig 2,100,COCA,14.17,0.273,0.297,0.429,0.0,22673.0,185.72,9000
+cachesize,Fig 2,100,GroCoca,12.85,0.104,0.264,0.631,0.0,19654.0,237.82,9000
+`
+
+const twoTableCSV = sampleCSV + `experiment,figure,theta,scheme,latency_ms,server_req_ratio,lch_ratio,gch_ratio,failure_ratio,power_per_gch_uws,total_energy_j,requests
+skew,Fig 3,0.5,SC,156.71,0.706,0.294,0.0,0.0,45610000.0,45.61,9000
+skew,Fig 3,0.5,COCA,14.31,0.279,0.295,0.427,0.0,22550.0,203.83,9000
+`
+
+func TestParseCSV(t *testing.T) {
+	rows, err := ParseCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	r := rows[0]
+	if r.Experiment != "cachesize" || r.Figure != "Fig 2" || r.Scheme != "SC" {
+		t.Errorf("row = %+v", r)
+	}
+	if r.ParamName != "cachesize" || r.ParamValue != "50" {
+		t.Errorf("param = %s=%s", r.ParamName, r.ParamValue)
+	}
+	if r.Metrics["latency_ms"] != 368.87 || r.Metrics["requests"] != 9000 {
+		t.Errorf("metrics = %v", r.Metrics)
+	}
+}
+
+func TestParseCSVMultipleTables(t *testing.T) {
+	rows, err := ParseCSV(strings.NewReader(twoTableCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	exps := Experiments(rows)
+	if len(exps) != 2 || exps[0] != "cachesize" || exps[1] != "skew" {
+		t.Errorf("experiments = %v", exps)
+	}
+	// The second table's param name differs.
+	if rows[6].ParamName != "theta" {
+		t.Errorf("second table param = %s", rows[6].ParamName)
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"data before header": "cachesize,Fig 2,50,SC,1.0\n",
+		"bad metric":         "experiment,figure,x,scheme,latency_ms\ncachesize,Fig 2,50,SC,abc\n",
+		"too few fields":     "experiment,figure\n",
+	}
+	for name, input := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := ParseCSV(strings.NewReader(input)); err == nil {
+				t.Error("malformed CSV accepted")
+			}
+		})
+	}
+}
+
+func TestMetricsSorted(t *testing.T) {
+	rows, err := ParseCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := Metrics(rows)
+	if len(ms) != 8 {
+		t.Fatalf("metrics = %v", ms)
+	}
+	for i := 1; i < len(ms); i++ {
+		if ms[i] < ms[i-1] {
+			t.Fatalf("metrics not sorted: %v", ms)
+		}
+	}
+}
+
+func TestRenderChart(t *testing.T) {
+	rows, err := ParseCSV(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart, err := Render(rows, "cachesize", "gch_ratio", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cachesize", "gch_ratio", "SC", "COCA", "GroCoca", "cachesize = 50", "cachesize = 100", "█"} {
+		if !strings.Contains(chart, want) {
+			t.Errorf("chart missing %q:\n%s", want, chart)
+		}
+	}
+	// The largest value gets the longest bar.
+	lines := strings.Split(chart, "\n")
+	maxBar, maxLine := 0, ""
+	for _, l := range lines {
+		n := strings.Count(l, "█")
+		if n > maxBar {
+			maxBar, maxLine = n, l
+		}
+	}
+	if !strings.Contains(maxLine, "GroCoca") || !strings.Contains(maxLine, "0.63") {
+		t.Errorf("longest bar on wrong line: %q", maxLine)
+	}
+	// SC's zero GCH renders no bar.
+	for _, l := range lines {
+		if strings.Contains(l, "SC") && strings.Contains(l, "0.00") && strings.Contains(l, "█") {
+			t.Errorf("zero value rendered a bar: %q", l)
+		}
+	}
+}
+
+func TestRenderUnknown(t *testing.T) {
+	rows, _ := ParseCSV(strings.NewReader(sampleCSV))
+	if _, err := Render(rows, "nope", "gch_ratio", 20); err == nil {
+		t.Error("unknown experiment rendered")
+	}
+	if _, err := Render(rows, "cachesize", "nope", 20); err == nil {
+		t.Error("unknown metric rendered")
+	}
+}
+
+func TestRenderAll(t *testing.T) {
+	rows, err := ParseCSV(strings.NewReader(twoTableCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := RenderAll(rows, nil, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cachesize") || !strings.Contains(out, "skew") {
+		t.Error("RenderAll missing experiments")
+	}
+	// Explicit single metric.
+	out, err = RenderAll(rows, []string{"latency_ms"}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "gch_ratio") {
+		t.Error("unrequested metric rendered")
+	}
+	// Nothing renderable.
+	if _, err := RenderAll(rows, []string{"nope"}, 30); err == nil {
+		t.Error("empty render succeeded")
+	}
+}
+
+func TestRenderTinyWidthClamped(t *testing.T) {
+	rows, _ := ParseCSV(strings.NewReader(sampleCSV))
+	chart, err := Render(rows, "cachesize", "latency_ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(chart, "█") {
+		t.Error("clamped width rendered no bars")
+	}
+}
+
+func TestRenderMap(t *testing.T) {
+	hosts := []MapHost{
+		{X: 100, Y: 100, Group: 0, InTCG: true},
+		{X: 900, Y: 900, Group: 1, InTCG: false},
+		{X: 100, Y: 102, Group: 0, InTCG: true}, // stacks with first
+	}
+	out, err := RenderMap(1000, 1000, 40, 12, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "A") {
+		t.Error("TCG host not uppercase")
+	}
+	if !strings.Contains(out, "b") {
+		t.Error("non-TCG host not lowercase")
+	}
+	if !strings.Contains(out, "@") {
+		t.Error("MSS marker missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + top border + 12 rows + bottom border
+	if len(lines) != 15 {
+		t.Errorf("map has %d lines, want 15", len(lines))
+	}
+	// A appears in a lower line than b (y grows upward, rows print
+	// top-down).
+	aLine, bLine := -1, -1
+	for i, l := range lines {
+		if strings.Contains(l, "A") {
+			aLine = i
+		}
+		if strings.Contains(l, "b") {
+			bLine = i
+		}
+	}
+	if aLine <= bLine {
+		t.Errorf("orientation wrong: A on line %d, b on line %d", aLine, bLine)
+	}
+}
+
+func TestRenderMapMixedCell(t *testing.T) {
+	hosts := []MapHost{
+		{X: 500, Y: 100, Group: 0},
+		{X: 500, Y: 100, Group: 1},
+	}
+	out, err := RenderMap(1000, 1000, 20, 8, hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "+\n") && !strings.Contains(out, "+") {
+		t.Error("mixed cell marker missing")
+	}
+}
+
+func TestRenderMapValidation(t *testing.T) {
+	if _, err := RenderMap(0, 100, 20, 8, nil); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := RenderMap(100, 100, 2, 8, nil); err == nil {
+		t.Error("tiny grid accepted")
+	}
+	// Out-of-space hosts clamp instead of panicking.
+	if _, err := RenderMap(100, 100, 10, 10, []MapHost{{X: -50, Y: 500}}); err != nil {
+		t.Errorf("clamping failed: %v", err)
+	}
+}

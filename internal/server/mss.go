@@ -1,0 +1,155 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// MSS is the mobile support station: it serves pull requests over the
+// shared channels first-come-first-serve, assigns TTLs from the catalog's
+// EWMA update intervals, and — when TCG tracking is enabled — runs the
+// group discovery algorithms on every piggybacked location and access,
+// delivering membership changes asynchronously on each client contact.
+type MSS struct {
+	k       *sim.Kernel
+	link    *network.ServerLink
+	catalog *Catalog
+	// tcg is nil for schemes without group management (SC, plain COCA).
+	tcg *TCGManager
+	// stats
+	requests    uint64
+	validations uint64
+	refreshes   uint64
+	locUpdates  uint64
+}
+
+// NewMSS wires the station to its link and installs the uplink handler.
+func NewMSS(k *sim.Kernel, link *network.ServerLink, catalog *Catalog, tcg *TCGManager) (*MSS, error) {
+	if link == nil || catalog == nil {
+		return nil, fmt.Errorf("server: link and catalog are required")
+	}
+	s := &MSS{k: k, link: link, catalog: catalog, tcg: tcg}
+	link.SetHandler(s.handle)
+	return s, nil
+}
+
+// TCG returns the group manager, or nil when tracking is disabled.
+func (s *MSS) TCG() *TCGManager { return s.tcg }
+
+// Catalog returns the data catalog.
+func (s *MSS) Catalog() *Catalog { return s.catalog }
+
+// Stats reports request counts since creation.
+func (s *MSS) Stats() (requests, validations, refreshes, locUpdates uint64) {
+	return s.requests, s.validations, s.refreshes, s.locUpdates
+}
+
+func (s *MSS) handle(msg network.Message) {
+	switch msg.Kind {
+	case network.KindServerRequest:
+		s.handleRequest(msg)
+	case network.KindValidate:
+		s.handleValidate(msg)
+	case network.KindLocationUpdate:
+		s.handleLocationUpdate(msg)
+	default:
+		// Unknown uplink traffic is dropped; the simulation never
+		// generates it.
+	}
+}
+
+func (s *MSS) handleRequest(msg network.Message) {
+	payload, ok := msg.Payload.(RequestPayload)
+	if !ok {
+		return
+	}
+	s.requests++
+	s.catalog.RecordDemand(payload.Item)
+	var changes []MembershipChange
+	if s.tcg != nil {
+		s.tcg.RecordLocation(msg.From, payload.Location)
+		s.tcg.RecordAccess(msg.From, payload.Item)
+		for _, it := range payload.PeerAccesses {
+			s.tcg.RecordAccess(msg.From, it)
+		}
+		changes = s.tcg.DrainChanges(msg.From)
+	}
+	s.link.SendDown(network.Message{
+		Kind: network.KindServerReply,
+		To:   msg.From,
+		Size: network.HeaderSize + s.catalog.ItemSize(),
+		Payload: ReplyPayload{
+			Item:    payload.Item,
+			TTL:     s.catalog.TTL(payload.Item),
+			Changes: changes,
+		},
+	})
+}
+
+func (s *MSS) handleValidate(msg network.Message) {
+	payload, ok := msg.Payload.(ValidatePayload)
+	if !ok {
+		return
+	}
+	s.validations++
+	var changes []MembershipChange
+	if s.tcg != nil {
+		s.tcg.RecordLocation(msg.From, payload.Location)
+		s.tcg.RecordAccess(msg.From, payload.Item)
+		changes = s.tcg.DrainChanges(msg.From)
+	}
+	if s.catalog.UpdatedSince(payload.Item, payload.RetrievedAt) {
+		// Stale copy: ship the up-to-date item.
+		s.refreshes++
+		s.link.SendDown(network.Message{
+			Kind: network.KindServerReply,
+			To:   msg.From,
+			Size: network.HeaderSize + s.catalog.ItemSize(),
+			Payload: ReplyPayload{
+				Item:    payload.Item,
+				TTL:     s.catalog.TTL(payload.Item),
+				Changes: changes,
+				Refresh: true,
+			},
+		})
+		return
+	}
+	// Copy is still valid: approve with a renewed TTL.
+	s.link.SendDown(network.Message{
+		Kind: network.KindValidateOK,
+		To:   msg.From,
+		Size: network.ControlSize,
+		Payload: ValidateOKPayload{
+			Item:    payload.Item,
+			TTL:     s.catalog.TTL(payload.Item),
+			Changes: changes,
+		},
+	})
+}
+
+func (s *MSS) handleLocationUpdate(msg network.Message) {
+	payload, ok := msg.Payload.(LocationPayload)
+	if !ok {
+		return
+	}
+	s.locUpdates++
+	if s.tcg == nil {
+		return
+	}
+	s.tcg.RecordLocation(msg.From, payload.Location)
+	for _, it := range payload.PeerAccesses {
+		s.tcg.RecordAccess(msg.From, it)
+	}
+	changes := s.tcg.DrainChanges(msg.From)
+	if len(changes) == 0 {
+		return
+	}
+	s.link.SendDown(network.Message{
+		Kind:    network.KindLocationUpdate,
+		To:      msg.From,
+		Size:    network.ControlSize,
+		Payload: MembershipPayload{Changes: changes},
+	})
+}

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/workload"
+)
+
+// RequestPayload is a client's pull request for a data item, piggybacking
+// its location and (per the passive collection strategy of Section IV.B) a
+// sampled portion of the items it retrieved from peers since last contact.
+type RequestPayload struct {
+	Item         workload.ItemID
+	Location     geo.Point
+	PeerAccesses []workload.ItemID
+}
+
+// ValidatePayload asks the MSS to validate a TTL-expired cached copy
+// retrieved at RetrievedAt.
+type ValidatePayload struct {
+	Item        workload.ItemID
+	RetrievedAt time.Duration
+	Location    geo.Point
+}
+
+// LocationPayload is the explicit update a client sends after τ_P of
+// silence: its location and a ρ_P sample of its peer-access history.
+type LocationPayload struct {
+	Location     geo.Point
+	PeerAccesses []workload.ItemID
+}
+
+// ReplyPayload carries a data item down to a client, with its assigned TTL
+// and any pending TCG membership changes.
+type ReplyPayload struct {
+	Item    workload.ItemID
+	TTL     time.Duration
+	Changes []MembershipChange
+	// Refresh marks replies that answer a validation with an updated copy.
+	Refresh bool
+}
+
+// ValidateOKPayload approves a cached copy's validity with a renewed TTL.
+type ValidateOKPayload struct {
+	Item    workload.ItemID
+	TTL     time.Duration
+	Changes []MembershipChange
+}
+
+// MembershipPayload carries TCG membership changes alone, answering an
+// explicit location update.
+type MembershipPayload struct {
+	Changes []MembershipChange
+}

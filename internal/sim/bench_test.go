@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkKernelScheduleRun measures raw event throughput of the kernel.
+func BenchmarkKernelScheduleRun(b *testing.B) {
+	k := NewKernel()
+	for i := 0; i < b.N; i++ {
+		k.Schedule(time.Duration(i%1000)*time.Microsecond, func() {})
+		if k.Pending() > 10000 {
+			if err := k.Run(k.Now() + time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := k.Run(k.Now() + time.Hour); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkResourceUse measures FCFS resource churn.
+func BenchmarkResourceUse(b *testing.B) {
+	k := NewKernel()
+	r := NewResource(k, 1)
+	for i := 0; i < b.N; i++ {
+		r.Use(time.Microsecond, nil)
+		if r.QueueLen() > 1000 {
+			if err := k.Run(k.Now() + time.Second); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := k.Run(k.Now() + time.Hour); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkRNGExp measures the exponential sampler used per request.
+func BenchmarkRNGExp(b *testing.B) {
+	g := NewRNG(1).Stream("bench")
+	for i := 0; i < b.N; i++ {
+		_ = g.Exp(time.Second)
+	}
+}

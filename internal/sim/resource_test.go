@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestResourceFCFSOrder(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		// All arrive at t=0 in index order; each holds 1s.
+		r.Use(time.Second, func() { order = append(order, i) })
+	}
+	if err := k.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if order[i] != i {
+			t.Fatalf("service order = %v", order)
+		}
+	}
+}
+
+func TestResourceQueueingDelay(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 1)
+	var finish []time.Duration
+	for i := 0; i < 3; i++ {
+		r.Use(2*time.Second, func() { finish = append(finish, k.Now()) })
+	}
+	if err := k.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []time.Duration{2 * time.Second, 4 * time.Second, 6 * time.Second}
+	for i, w := range want {
+		if finish[i] != w {
+			t.Errorf("finish[%d] = %v, want %v", i, finish[i], w)
+		}
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 2)
+	var finish []time.Duration
+	for i := 0; i < 4; i++ {
+		r.Use(2*time.Second, func() { finish = append(finish, k.Now()) })
+	}
+	if err := k.Run(time.Minute); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Two servers: pairs finish at 2s and 4s.
+	want := []time.Duration{2 * time.Second, 2 * time.Second, 4 * time.Second, 4 * time.Second}
+	for i, w := range want {
+		if finish[i] != w {
+			t.Errorf("finish[%d] = %v, want %v", i, finish[i], w)
+		}
+	}
+}
+
+func TestResourceAcquireReleaseManual(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 1)
+	granted := 0
+	r.Acquire(func() { granted++ })
+	r.Acquire(func() { granted++ })
+	if granted != 1 {
+		t.Fatalf("granted = %d before release, want 1", granted)
+	}
+	if r.QueueLen() != 1 {
+		t.Fatalf("QueueLen = %d, want 1", r.QueueLen())
+	}
+	r.Release()
+	if granted != 2 {
+		t.Fatalf("granted = %d after release, want 2", granted)
+	}
+	if r.InUse() != 1 {
+		t.Fatalf("InUse = %d, want 1 (handed to waiter)", r.InUse())
+	}
+	r.Release()
+	if r.InUse() != 0 {
+		t.Fatalf("InUse = %d after final release, want 0", r.InUse())
+	}
+}
+
+func TestResourceStats(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 1)
+	for i := 0; i < 3; i++ {
+		r.Use(time.Second, nil)
+	}
+	if err := k.Run(6 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Acquires() != 3 {
+		t.Errorf("Acquires = %d, want 3", r.Acquires())
+	}
+	if r.Queued() != 2 {
+		t.Errorf("Queued = %d, want 2", r.Queued())
+	}
+	// Busy 3s of 6s elapsed.
+	if u := r.Utilization(); u < 0.49 || u > 0.51 {
+		t.Errorf("Utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestResourceMinimumCapacity(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 0)
+	done := false
+	r.Use(time.Second, func() { done = true })
+	if err := k.Run(2 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !done {
+		t.Error("resource with clamped capacity never served")
+	}
+}
+
+func TestRNGStreamsIndependentAndReproducible(t *testing.T) {
+	a1 := NewRNG(42).Stream("mobility")
+	a2 := NewRNG(42).Stream("mobility")
+	b := NewRNG(42).Stream("workload")
+	for i := 0; i < 100; i++ {
+		v1, v2 := a1.Float64(), a2.Float64()
+		if v1 != v2 {
+			t.Fatalf("same stream diverged at %d: %v vs %v", i, v1, v2)
+		}
+		if v1 == b.Float64() && i > 3 {
+			// A few coincidences are possible but a run of equality is not;
+			// just ensure the sequences are not identical overall below.
+			continue
+		}
+	}
+	// Different purposes must differ somewhere early.
+	c, d := NewRNG(7).Stream("x"), NewRNG(7).Stream("y")
+	same := true
+	for i := 0; i < 10; i++ {
+		if c.Float64() != d.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("streams x and y produced identical prefixes")
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	g := NewRNG(1).Stream("exp")
+	const n = 20000
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		sum += g.Exp(time.Second)
+	}
+	mean := float64(sum) / n / float64(time.Second)
+	if mean < 0.95 || mean > 1.05 {
+		t.Errorf("empirical mean = %v, want ~1.0", mean)
+	}
+}
+
+func TestRNGUniformBounds(t *testing.T) {
+	g := NewRNG(2).Stream("u")
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+		d := g.UniformDuration(time.Second, 5*time.Second)
+		if d < time.Second || d >= 5*time.Second {
+			t.Fatalf("UniformDuration out of range: %v", d)
+		}
+	}
+	if got := g.Uniform(5, 5); got != 5 {
+		t.Errorf("degenerate Uniform = %v, want 5", got)
+	}
+	if got := g.UniformDuration(time.Second, time.Second); got != time.Second {
+		t.Errorf("degenerate UniformDuration = %v, want 1s", got)
+	}
+}
+
+func TestRNGBoolEdges(t *testing.T) {
+	g := NewRNG(3).Stream("b")
+	for i := 0; i < 100; i++ {
+		if g.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !g.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+	hits := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if p < 0.27 || p > 0.33 {
+		t.Errorf("Bool(0.3) empirical p = %v", p)
+	}
+}
+
+func TestRNGAccessors(t *testing.T) {
+	g := NewRNG(77)
+	if g.Seed() != 77 {
+		t.Errorf("Seed = %d", g.Seed())
+	}
+	for i := 0; i < 100; i++ {
+		if v := g.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if g.Int63() < 0 {
+			t.Fatal("Int63 negative")
+		}
+	}
+	perm := g.Perm(8)
+	seen := map[int]bool{}
+	for _, p := range perm {
+		if p < 0 || p >= 8 || seen[p] {
+			t.Fatalf("Perm invalid: %v", perm)
+		}
+		seen[p] = true
+	}
+	vals := []int{1, 2, 3, 4, 5}
+	g.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	sum := 0
+	for _, v := range vals {
+		sum += v
+	}
+	if sum != 15 {
+		t.Errorf("Shuffle lost elements: %v", vals)
+	}
+}
+
+func TestRNGExpZeroMean(t *testing.T) {
+	g := NewRNG(5)
+	if g.Exp(0) != 0 || g.Exp(-time.Second) != 0 {
+		t.Error("non-positive mean should yield 0")
+	}
+}
+
+func TestEventTimeAndKernelPending(t *testing.T) {
+	k := NewKernel()
+	ev := k.Schedule(3*time.Second, func() {})
+	if ev.Time() != 3*time.Second {
+		t.Errorf("Event.Time = %v", ev.Time())
+	}
+	if k.Pending() != 1 {
+		t.Errorf("Pending = %d", k.Pending())
+	}
+	if err := k.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if k.Pending() != 0 {
+		t.Errorf("Pending after drain = %d", k.Pending())
+	}
+}
+
+func TestResourceUtilizationIdle(t *testing.T) {
+	k := NewKernel()
+	r := NewResource(k, 1)
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if u := r.Utilization(); u != 0 {
+		t.Errorf("idle utilization = %v", u)
+	}
+}

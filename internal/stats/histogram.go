@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sample collects observations for exact quantile queries. The simulation
+// records one value per measured request (tens of thousands), so keeping
+// the raw samples is cheap and avoids sketch approximation error.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) {
+	s.values = append(s.values, x)
+	s.sorted = false
+}
+
+// Count returns the number of observations.
+func (s *Sample) Count() int { return len(s.values) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// between closest ranks, or zero with no observations. Out-of-range q is
+// clamped.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.values[0]
+	}
+	if q >= 1 {
+		return s.values[len(s.values)-1]
+	}
+	pos := q * float64(len(s.values)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := pos - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Min returns the smallest observation, or zero when empty.
+func (s *Sample) Min() float64 { return s.Quantile(0) }
+
+// Max returns the largest observation, or zero when empty.
+func (s *Sample) Max() float64 { return s.Quantile(1) }
+
+// Reset discards all observations.
+func (s *Sample) Reset() {
+	s.values = s.values[:0]
+	s.sorted = false
+}
