@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: tier1 vet build test race short bench
+
+## tier1: the gate every change must pass — vet, build, tests with the
+## race detector.
+tier1: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -84,6 +84,18 @@ func run(args []string) error {
 	fs.BoolVar(&cfg.DisableAdmission, "noadmission", false, "disable cooperative admission control")
 	fs.BoolVar(&cfg.DisableCoopReplace, "nocoopreplace", false, "disable cooperative replacement")
 	fs.BoolVar(&cfg.DisableCompression, "nocompression", false, "disable signature compression")
+	fs.Float64Var(&cfg.P2PLossProb, "p2ploss", cfg.P2PLossProb, "P2P per-message loss probability")
+	fs.Float64Var(&cfg.P2PBitErrorRate, "p2pber", cfg.P2PBitErrorRate, "P2P bit error rate (size-dependent drops)")
+	fs.Float64Var(&cfg.UplinkLossProb, "uplinkloss", cfg.UplinkLossProb, "server uplink loss probability")
+	fs.Float64Var(&cfg.DownlinkLossProb, "downlinkloss", cfg.DownlinkLossProb, "server downlink loss probability")
+	fs.DurationVar(&cfg.ServerOutagePeriod, "outageperiod", cfg.ServerOutagePeriod, "server outage period (0 = no outages)")
+	fs.DurationVar(&cfg.ServerOutageDuration, "outageduration", cfg.ServerOutageDuration, "server outage duration per period")
+	fs.DurationVar(&cfg.CrashMTBF, "crashmtbf", cfg.CrashMTBF, "mean host up-time between crashes (0 = no crash churn)")
+	fs.DurationVar(&cfg.CrashDownMin, "crashdownmin", cfg.CrashDownMin, "minimum crash downtime")
+	fs.DurationVar(&cfg.CrashDownMax, "crashdownmax", cfg.CrashDownMax, "maximum crash downtime")
+	fs.IntVar(&cfg.RetrieveRetryLimit, "retrieveretry", cfg.RetrieveRetryLimit, "alternate-holder retries after a data timeout")
+	fs.IntVar(&cfg.ServerRetryLimit, "serverretry", cfg.ServerRetryLimit, "rescue re-sends of a lost MSS exchange (0 disables)")
+	fs.Float64Var(&cfg.ServerRescueFactor, "rescuefactor", cfg.ServerRescueFactor, "rescue timeout scale over the queue-aware RTT estimate")
 	verbose := fs.Bool("v", false, "print auxiliary counters and host diagnostics")
 	traceFile := fs.String("tracefile", "", "write a CSV trace of every measured request to this file")
 
@@ -162,6 +174,9 @@ func run(args []string) error {
 	fmt.Printf("sim-time=%v events=%d wall=%v downlink-util=%.1f%% total-energy=%.2fJ completed=%v\n",
 		r.SimTime.Round(time.Second), r.Events, time.Since(start).Round(time.Millisecond),
 		100*r.DownlinkUtilization, r.TotalEnergy/1e6, r.Completed)
+	if r.Faults.Any() || *verbose {
+		fmt.Printf("faults: %v\n", r.Faults)
+	}
 	if *verbose {
 		fmt.Printf("aux: %+v\n", r.Aux)
 		cats := make([]string, 0, len(r.EnergyBreakdown))

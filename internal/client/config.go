@@ -132,6 +132,23 @@ type Config struct {
 	EnableSpillover        bool
 	SpilloverActivityRatio float64
 
+	// Fault-tolerance hardening. Zero values disable the respective
+	// recovery mechanism, preserving the paper's baseline protocol.
+	//
+	// RetrieveRetryLimit bounds how many alternate reply holders are
+	// asked for the data after a data timeout before the request falls
+	// back to the MSS.
+	RetrieveRetryLimit int
+	// ServerRetryLimit bounds how many times a lost MSS exchange is
+	// re-issued after the queue-aware rescue timeout expires; 0 disables
+	// the rescue timer entirely (a lost uplink request then stalls until
+	// the run's safety horizon).
+	ServerRetryLimit int
+	// ServerRescueFactor scales the estimated MSS round-trip (transmission
+	// times plus queue backlog) into the rescue timeout; values below 1
+	// fall back to 3.
+	ServerRescueFactor float64
+
 	// Ablation switches.
 	DisableFilter      bool
 	DisableAdmission   bool
@@ -198,6 +215,15 @@ func (c Config) Validate() error {
 		if c.PeerAccessSample < 0 || c.PeerAccessSample > 1 {
 			return fmt.Errorf("client: peer access sample %v outside [0, 1]", c.PeerAccessSample)
 		}
+	}
+	if c.RetrieveRetryLimit < 0 {
+		return fmt.Errorf("client: retrieve retry limit %d must be non-negative", c.RetrieveRetryLimit)
+	}
+	if c.ServerRetryLimit < 0 {
+		return fmt.Errorf("client: server retry limit %d must be non-negative", c.ServerRetryLimit)
+	}
+	if c.ServerRescueFactor < 0 {
+		return fmt.Errorf("client: server rescue factor %v must be non-negative", c.ServerRescueFactor)
 	}
 	if c.WarmupRequests < 0 || c.MeasuredRequests <= 0 {
 		return fmt.Errorf("client: request counts (warmup %d, measured %d) invalid", c.WarmupRequests, c.MeasuredRequests)

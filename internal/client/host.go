@@ -45,6 +45,14 @@ type pendingRequest struct {
 	// selects the provider; later ones feed the longest-TTL touch
 	// selection of the cooperative admission protocol).
 	replies []replyPayload
+	// tried marks holders already asked for the data, so retrieve
+	// retries pick a fresh one.
+	tried map[network.NodeID]bool
+	// retrieveAttempts counts alternate-holder retries after data
+	// timeouts; serverAttempts counts rescue re-sends of a lost MSS
+	// exchange.
+	retrieveAttempts int
+	serverAttempts   int
 }
 
 // Host is one mobile host. It is driven entirely by simulation events; all
@@ -72,6 +80,16 @@ type Host struct {
 	completed int
 	seq       uint64
 	cur       *pendingRequest
+
+	// Crash/recover churn (driven by the fault plan). The pending
+	// next-request timer is tracked so a crash can cancel it and
+	// recovery can re-issue the same item without disturbing the
+	// workload stream.
+	faults         *network.FaultPlan
+	nextReqEv      *sim.Event
+	nextReqItem    workload.ItemID
+	nextReqPending bool
+	doneSent       bool
 
 	// Adaptive P2P search timeout state (Welford over measured τ).
 	tau stats.Welford
@@ -225,6 +243,14 @@ func (h *Host) CoversItem(item workload.ItemID) bool {
 // Completed reports how many requests the host has finished.
 func (h *Host) Completed() int { return h.completed }
 
+// Outstanding reports whether the host has an in-flight request. A true
+// value after a run has ended indicates a stalled protocol state machine.
+func (h *Host) Outstanding() bool { return h.cur != nil }
+
+// SetFaultPlan attaches the fault plan driving this host's crash/recover
+// churn. It must be called before Start.
+func (h *Host) SetFaultPlan(p *network.FaultPlan) { h.faults = p }
+
 // Start launches the host's NDP, explicit-update timer, and request loop.
 func (h *Host) Start() {
 	if h.ndp != nil {
@@ -232,6 +258,9 @@ func (h *Host) Start() {
 	}
 	if h.cfg.Scheme == SchemeGroCoca && h.cfg.ExplicitUpdateAfter > 0 {
 		h.k.Schedule(h.cfg.ExplicitUpdateAfter, h.explicitUpdateTick)
+	}
+	if h.faults != nil && h.faults.CrashEnabled() {
+		h.k.Schedule(h.faults.CrashDelay(h.id), h.crash)
 	}
 	h.scheduleNextRequest()
 }
@@ -246,11 +275,22 @@ func (h *Host) scheduleNextRequest() {
 		return // manually driven host (tests, examples)
 	}
 	if h.completed >= h.totalRequests() {
-		h.collector.hostDone()
+		// The guard keeps crash recovery from double-reporting a host
+		// whose quota filled while its think timer raced a crash.
+		if !h.doneSent {
+			h.doneSent = true
+			h.collector.hostDone()
+		}
 		return
 	}
 	item, think := h.gen.Next()
-	h.k.Schedule(think, func() { h.beginRequest(item) })
+	h.nextReqItem = item
+	h.nextReqPending = true
+	h.nextReqEv = h.k.Schedule(think, func() {
+		h.nextReqPending = false
+		h.nextReqEv = nil
+		h.beginRequest(item)
+	})
 }
 
 // Preload inserts an item into the cache outside the protocol, maintaining
@@ -289,6 +329,19 @@ func (h *Host) complete(outcome Outcome) {
 	if p.timeout != nil {
 		p.timeout.Cancel()
 	}
+	h.finish(p, outcome)
+	// Client disconnection: with probability P_disc, leave the network for
+	// DiscTime before the next request.
+	if h.rngDisc.Bool(h.cfg.DiscProb) {
+		h.disconnect()
+		return
+	}
+	h.scheduleNextRequest()
+}
+
+// finish records the terminal outcome of request p and advances the
+// completion bookkeeping shared by complete and crash aborts.
+func (h *Host) finish(p *pendingRequest, outcome Outcome) {
 	now := h.k.Now()
 	h.completed++
 	if h.completed == h.cfg.WarmupRequests {
@@ -301,10 +354,58 @@ func (h *Host) complete(outcome Outcome) {
 	if h.completed > h.cfg.WarmupRequests && h.collector.allWarm() {
 		h.collector.record(now, h.id, outcome, now-p.start)
 	}
-	// Client disconnection: with probability P_disc, leave the network for
-	// DiscTime before the next request.
-	if h.rngDisc.Bool(h.cfg.DiscProb) {
-		h.disconnect()
+}
+
+// crash is the involuntary counterpart of disconnect: the host drops off
+// the air mid-anything, loses its in-flight request state (recorded as an
+// access failure), and recovers after the plan's downtime draw. Crashes
+// landing during a voluntary disconnection are deferred — an unobservable
+// crash would only perturb the churn schedule.
+func (h *Host) crash() {
+	if h.faults == nil || !h.faults.CrashEnabled() {
+		return
+	}
+	if !h.connected {
+		h.k.Schedule(h.faults.CrashDelay(h.id), h.crash)
+		return
+	}
+	h.collector.crashes++
+	h.connected = false
+	if h.ndp != nil {
+		h.ndp.Stop()
+	}
+	if h.nextReqEv != nil {
+		// Keep nextReqPending: recovery re-issues the same item.
+		h.nextReqEv.Cancel()
+		h.nextReqEv = nil
+	}
+	if p := h.cur; p != nil {
+		h.cur = nil
+		if p.timeout != nil {
+			p.timeout.Cancel()
+		}
+		h.collector.crashAborts++
+		h.finish(p, OutcomeFailure)
+	}
+	h.k.Schedule(h.faults.CrashDowntime(h.id), h.recoverFromCrash)
+}
+
+// recoverFromCrash brings the host back: NDP restarts, GroCoca re-collects
+// the TCG cache signatures lost with the crash (Section IV.D.5's
+// reconnection protocol), and the request loop resumes — with the item
+// whose think timer the crash cancelled, if any.
+func (h *Host) recoverFromCrash() {
+	h.connected = true
+	if h.ndp != nil {
+		h.ndp.Start()
+	}
+	if h.cfg.Scheme == SchemeGroCoca {
+		h.reconnectSignatures()
+	}
+	h.k.Schedule(h.faults.CrashDelay(h.id), h.crash)
+	if h.nextReqPending {
+		h.nextReqPending = false
+		h.beginRequest(h.nextReqItem)
 		return
 	}
 	h.scheduleNextRequest()

@@ -65,6 +65,11 @@ type Collector struct {
 	broadcastDrops      uint64
 	spillsSent          uint64
 	spillsAccepted      uint64
+	retrieveRetries     uint64
+	serverRescues       uint64
+	rescueFailures      uint64
+	crashes             uint64
+	crashAborts         uint64
 	measureStart        time.Duration
 
 	// GroupOf, when set by the assembler, maps a node to its motion group
@@ -181,6 +186,11 @@ func (c *Collector) Aux() AuxCounters {
 		BroadcastDrops:      c.broadcastDrops,
 		SpillsSent:          c.spillsSent,
 		SpillsAccepted:      c.spillsAccepted,
+		RetrieveRetries:     c.retrieveRetries,
+		ServerRescues:       c.serverRescues,
+		RescueFailures:      c.rescueFailures,
+		Crashes:             c.crashes,
+		CrashAborts:         c.crashAborts,
 	}
 }
 
@@ -215,4 +225,12 @@ type AuxCounters struct {
 	BroadcastDrops      uint64
 	SpillsSent          uint64
 	SpillsAccepted      uint64
+	// Fault-tolerance counters: retrieve retries after data timeouts,
+	// rescue re-sends of lost MSS exchanges (and the requests failed
+	// after exhausting them), and crash churn events.
+	RetrieveRetries uint64
+	ServerRescues   uint64
+	RescueFailures  uint64
+	Crashes         uint64
+	CrashAborts     uint64
 }

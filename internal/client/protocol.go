@@ -235,6 +235,7 @@ func (h *Host) handleReply(msg network.Message) {
 	p.provider = payload.Holder
 	p.replyPath = payload.Path
 	p.replies = append(p.replies, payload)
+	p.tried = map[network.NodeID]bool{payload.Holder: true}
 	h.sendRouted(payload.Path, network.Message{
 		Kind: network.KindRetrieve,
 		From: h.id,
@@ -246,12 +247,59 @@ func (h *Host) handleReply(msg network.Message) {
 			Path:   payload.Path,
 		},
 	})
-	p.timeout = h.k.Schedule(h.dataTimeout(), func() {
-		if h.cur == p && p.phase == phaseWaitData {
-			h.collector.peerTimeouts++
-			h.goToServer(p.item)
+	p.timeout = h.k.Schedule(h.dataTimeout(), func() { h.dataTimeoutFired(p) })
+}
+
+// dataTimeoutFired handles an expired retrieve→data exchange: while the
+// retry budget lasts and another holder replied, the retrieve is re-issued
+// to the untried holder with the freshest copy (doubling the timeout per
+// attempt); otherwise the request falls back to the MSS.
+func (h *Host) dataTimeoutFired(p *pendingRequest) {
+	if h.cur != p || p.phase != phaseWaitData {
+		return
+	}
+	if p.retrieveAttempts < h.cfg.RetrieveRetryLimit {
+		if alt := p.nextHolder(); alt != nil {
+			p.retrieveAttempts++
+			h.collector.retrieveRetries++
+			p.tried[alt.Holder] = true
+			p.provider = alt.Holder
+			p.replyPath = alt.Path
+			h.sendRouted(alt.Path, network.Message{
+				Kind: network.KindRetrieve,
+				From: h.id,
+				Size: network.RetrieveSize,
+				Payload: retrievePayload{
+					Key:    alt.Key,
+					Item:   alt.Item,
+					Origin: h.id,
+					Path:   alt.Path,
+				},
+			})
+			backoff := h.dataTimeout() << uint(p.retrieveAttempts)
+			p.timeout = h.k.Schedule(backoff, func() { h.dataTimeoutFired(p) })
+			return
 		}
-	})
+	}
+	h.collector.peerTimeouts++
+	h.goToServer(p.item)
+}
+
+// nextHolder selects the untried reply with the freshest copy (longest
+// expiry, ties broken by arrival order), or nil when every replying
+// holder has been asked.
+func (p *pendingRequest) nextHolder() *replyPayload {
+	var best *replyPayload
+	for i := range p.replies {
+		r := &p.replies[i]
+		if p.tried[r.Holder] {
+			continue
+		}
+		if best == nil || r.ExpiresAt > best.ExpiresAt {
+			best = r
+		}
+	}
+	return best
 }
 
 // handleRetrieve turns in the requested item to the origin.
@@ -407,6 +455,52 @@ func (h *Host) sendPull(item workload.ItemID, now time.Duration) {
 			PeerAccesses: h.samplePeerAccesses(),
 		},
 	})
+	h.armServerRescue(p, phaseWaitServer, func() { h.sendPull(item, h.k.Now()) })
+}
+
+// armServerRescue schedules the lost-exchange recovery timer: if the MSS
+// reply has not arrived after a queue-aware round-trip estimate, the
+// exchange is re-issued (the request or reply was destroyed in transit),
+// and once ServerRetryLimit re-sends are exhausted the request is
+// declared an access failure instead of stalling the host forever.
+func (h *Host) armServerRescue(p *pendingRequest, want phase, resend func()) {
+	if h.cfg.ServerRetryLimit <= 0 {
+		return
+	}
+	p.timeout = h.k.Schedule(h.serverRescueTimeout(p.serverAttempts), func() {
+		if h.cur != p || p.phase != want {
+			return
+		}
+		if p.serverAttempts >= h.cfg.ServerRetryLimit {
+			h.collector.rescueFailures++
+			h.complete(OutcomeFailure)
+			return
+		}
+		p.serverAttempts++
+		h.collector.serverRescues++
+		resend()
+	})
+}
+
+// serverRescueTimeout estimates how long a full MSS exchange can take
+// given the current uplink and downlink backlog: every queued uplink
+// request ahead of ours must be sent and will enqueue its own reply ahead
+// of ours on the downlink. The estimate is scaled by the rescue factor,
+// floored (queues drain, timers do not re-measure), and doubled per retry.
+func (h *Host) serverRescueTimeout(attempt int) time.Duration {
+	upTx, _ := h.link.TxTimes(network.RequestSize)
+	_, downTx := h.link.TxTimes(network.HeaderSize + h.cfg.DataSize)
+	upAhead := time.Duration(h.link.UplinkQueue() + 1)
+	downAhead := time.Duration(h.link.UplinkQueue() + h.link.DownlinkQueue() + 2)
+	factor := h.cfg.ServerRescueFactor
+	if factor < 1 {
+		factor = 3
+	}
+	t := time.Duration(float64(upTx*upAhead+downTx*downAhead) * factor)
+	if t < 200*time.Millisecond {
+		t = 200 * time.Millisecond
+	}
+	return t << uint(attempt)
 }
 
 // tuneToBroadcast waits for the item's slot on the broadcast disk.
@@ -456,6 +550,7 @@ func (h *Host) validateWithServer(item workload.ItemID, retrievedAt time.Duratio
 			Location:    h.Position(now),
 		},
 	})
+	h.armServerRescue(p, phaseWaitValidate, func() { h.validateWithServer(item, retrievedAt) })
 }
 
 // handleServerReply processes a full data reply from the MSS.

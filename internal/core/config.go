@@ -173,6 +173,25 @@ type Config struct {
 	EnableSpillover        bool
 	SpilloverActivityRatio float64
 
+	// Fault injection. All zero (the default) keeps the ideal channels;
+	// any non-zero entry installs a seeded network.FaultPlan driving
+	// random loss, scheduled server outages, and host crash churn.
+	P2PLossProb          float64
+	P2PBitErrorRate      float64
+	UplinkLossProb       float64
+	DownlinkLossProb     float64
+	ServerOutagePeriod   time.Duration
+	ServerOutageDuration time.Duration
+	CrashMTBF            time.Duration
+	CrashDownMin         time.Duration
+	CrashDownMax         time.Duration
+
+	// Protocol hardening against the faults above (active regardless of
+	// whether faults are injected; see client.Config for semantics).
+	RetrieveRetryLimit int
+	ServerRetryLimit   int
+	ServerRescueFactor float64
+
 	// Ablation switches (GroCoca).
 	DisableFilter      bool
 	DisableAdmission   bool
@@ -265,6 +284,15 @@ func DefaultConfig() Config {
 		BroadcastHotItems:  300,
 		BroadcastReshuffle: 30 * time.Second,
 		ListenPowerPerSec:  50000, // ~50 mW idle listening
+
+		// Hardening defaults: one alternate-holder retry, three rescue
+		// re-sends of a lost MSS exchange. Crash downtimes apply only
+		// when CrashMTBF is set.
+		RetrieveRetryLimit: 1,
+		ServerRetryLimit:   3,
+		ServerRescueFactor: 3,
+		CrashDownMin:       5 * time.Second,
+		CrashDownMax:       30 * time.Second,
 	}
 }
 
@@ -331,9 +359,26 @@ func (c Config) Validate() error {
 			return fmt.Errorf("core: negative listen power %v", c.ListenPowerPerSec)
 		}
 	}
+	if err := c.faultPlanConfig().Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	// The remaining client-side constraints are enforced by
 	// client.Config.Validate via clientConfig.
 	return c.clientConfig().Validate()
+}
+
+// faultPlanConfig projects the fault-injection parameter subset.
+func (c Config) faultPlanConfig() network.FaultPlanConfig {
+	return network.FaultPlanConfig{
+		P2P:            network.ChannelFaults{LossProb: c.P2PLossProb, BitErrorRate: c.P2PBitErrorRate},
+		Uplink:         network.ChannelFaults{LossProb: c.UplinkLossProb},
+		Downlink:       network.ChannelFaults{LossProb: c.DownlinkLossProb},
+		OutagePeriod:   c.ServerOutagePeriod,
+		OutageDuration: c.ServerOutageDuration,
+		CrashMTBF:      c.CrashMTBF,
+		CrashDownMin:   c.CrashDownMin,
+		CrashDownMax:   c.CrashDownMax,
+	}
 }
 
 // clientConfig projects the per-host parameter subset.
@@ -364,6 +409,9 @@ func (c Config) clientConfig() client.Config {
 		SigRecollectAfter:      c.SigRecollectAfter,
 		EnableSpillover:        c.EnableSpillover,
 		SpilloverActivityRatio: c.SpilloverActivityRatio,
+		RetrieveRetryLimit:     c.RetrieveRetryLimit,
+		ServerRetryLimit:       c.ServerRetryLimit,
+		ServerRescueFactor:     c.ServerRescueFactor,
 		DisableFilter:          c.DisableFilter,
 		DisableAdmission:       c.DisableAdmission,
 		DisableCoopReplace:     c.DisableCoopReplace,

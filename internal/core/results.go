@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/client"
@@ -55,10 +56,74 @@ type Results struct {
 	// Aux carries protocol-internal counters (validations, filter
 	// bypasses, cooperative evictions, signature traffic, ...).
 	Aux client.AuxCounters
+
+	// Faults reports what the installed fault plan destroyed and how the
+	// hardened protocol recovered. All zero when no faults were injected.
+	Faults FaultReport
+}
+
+// FaultReport aggregates the per-channel loss, outage, churn, and
+// recovery counters of one run.
+type FaultReport struct {
+	// P2PDrops breaks the shared-medium drops down by cause (including
+	// the non-fault causes: disconnected senders, unreachable
+	// destinations, unregistered nodes).
+	P2PDrops network.DropCounts
+	// LinkDrops breaks the server uplink/downlink losses down by cause.
+	LinkDrops network.LinkDrops
+	// OutageSeconds is the total scheduled infrastructure outage time
+	// overlapping the run, in seconds.
+	OutageSeconds float64
+	// RetrieveRetries counts alternate-holder retries after data
+	// timeouts; ServerRescues counts re-sent MSS exchanges and
+	// RescueFailures the requests failed after exhausting them.
+	RetrieveRetries uint64
+	ServerRescues   uint64
+	RescueFailures  uint64
+	// Crashes counts host crash events, CrashAborts the in-flight
+	// requests they destroyed.
+	Crashes     uint64
+	CrashAborts uint64
+	// OutstandingRequests counts hosts still holding an in-flight
+	// request when the run ended; non-zero means the protocol stalled.
+	OutstandingRequests int
+}
+
+// Any reports whether the run saw any fault, recovery, or stall event.
+func (f FaultReport) Any() bool {
+	return f.P2PDrops.Fault > 0 || f.LinkDrops.Total() > 0 || f.OutageSeconds > 0 ||
+		f.RetrieveRetries > 0 || f.ServerRescues > 0 || f.RescueFailures > 0 ||
+		f.Crashes > 0 || f.OutstandingRequests > 0
+}
+
+// String renders a one-line fault summary.
+func (f FaultReport) String() string {
+	return fmt.Sprintf(
+		"p2p-fault-drops=%d up-drops=%d/%d down-drops=%d/%d/%d outage=%.0fs retries=%d rescues=%d rescue-failures=%d crashes=%d aborts=%d outstanding=%d",
+		f.P2PDrops.Fault,
+		f.LinkDrops.UplinkFault, f.LinkDrops.UplinkOutage,
+		f.LinkDrops.DownlinkFault, f.LinkDrops.DownlinkOutage, f.LinkDrops.DownlinkDisconnected,
+		f.OutageSeconds, f.RetrieveRetries, f.ServerRescues, f.RescueFailures,
+		f.Crashes, f.CrashAborts, f.OutstandingRequests,
+	)
 }
 
 func (s *Simulation) results(completed bool) Results {
 	c := s.collector
+	aux := c.Aux()
+	faults := FaultReport{
+		P2PDrops:            s.medium.Drops(),
+		LinkDrops:           s.link.Drops(),
+		RetrieveRetries:     aux.RetrieveRetries,
+		ServerRescues:       aux.ServerRescues,
+		RescueFailures:      aux.RescueFailures,
+		Crashes:             aux.Crashes,
+		CrashAborts:         aux.CrashAborts,
+		OutstandingRequests: s.OutstandingRequests(),
+	}
+	if s.faults != nil {
+		faults.OutageSeconds = s.faults.OutageSecondsUntil(s.kernel.Now())
+	}
 	return Results{
 		Scheme:              s.cfg.Scheme.String(),
 		Completed:           completed,
@@ -78,7 +143,8 @@ func (s *Simulation) results(completed bool) Results {
 		EnergyFairness:      energyFairness(s.meter),
 		SimTime:             s.kernel.Now(),
 		Events:              s.kernel.Processed(),
-		Aux:                 c.Aux(),
+		Aux:                 aux,
+		Faults:              faults,
 	}
 }
 
@@ -102,11 +168,19 @@ func Run(cfg Config) (Results, error) {
 }
 
 // energyFairness computes Jain's index over the per-host energy accounts.
+// Hosts are visited in ID order: float sums are not associative, so map
+// iteration order would perturb the last bits run to run and break the
+// byte-identical reproducibility guarantee.
 func energyFairness(m *network.Meter) float64 {
 	perNode := m.PerNode()
-	values := make([]float64, 0, len(perNode))
-	for _, e := range perNode {
-		values = append(values, e)
+	ids := make([]network.NodeID, 0, len(perNode))
+	for id := range perNode {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	values := make([]float64, 0, len(ids))
+	for _, id := range ids {
+		values = append(values, perNode[id])
 	}
 	return stats.JainIndex(values)
 }

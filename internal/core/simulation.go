@@ -25,6 +25,7 @@ type Simulation struct {
 	mss       *server.MSS
 	collector *client.Collector
 	hosts     []*client.Host
+	faults    *network.FaultPlan
 }
 
 // New assembles a simulation from the configuration.
@@ -99,6 +100,13 @@ func New(cfg Config) (*Simulation, error) {
 		}
 		return s.hosts[to].ReceiveFromServer(msg)
 	})
+	if fpc := cfg.faultPlanConfig(); !fpc.Zero() {
+		plan, err := network.NewFaultPlan(fpc, root.Stream("fault"))
+		if err != nil {
+			return nil, fmt.Errorf("core: fault plan: %w", err)
+		}
+		s.InstallFaultPlan(plan)
+	}
 	if cfg.Delivery != DeliveryPull {
 		hot := cfg.BroadcastHotItems
 		reshuffle := cfg.BroadcastReshuffle
@@ -265,6 +273,33 @@ func (s *Simulation) horizon() time.Duration {
 		total = time.Hour
 	}
 	return total
+}
+
+// InstallFaultPlan wires a fault plan into the medium, the server link,
+// and every host. It must be called before Run. New installs the plan
+// derived from the config automatically; the explicit entry point exists
+// so tests and tools can install externally built plans (e.g. a zero plan
+// for the determinism guard).
+func (s *Simulation) InstallFaultPlan(p *network.FaultPlan) {
+	s.faults = p
+	s.medium.SetFaultPlan(p)
+	s.link.SetFaultPlan(p)
+	for _, h := range s.hosts {
+		h.SetFaultPlan(p)
+	}
+}
+
+// OutstandingRequests counts hosts that still hold an in-flight request.
+// After a completed run it must be zero: every begun request reaches a
+// terminal outcome even under injected faults.
+func (s *Simulation) OutstandingRequests() int {
+	n := 0
+	for _, h := range s.hosts {
+		if h.Outstanding() {
+			n++
+		}
+	}
+	return n
 }
 
 // Hosts exposes the mobile hosts, for examples that want to inspect cache

@@ -140,6 +140,45 @@ func Extensions() []Experiment {
 				return core.MobilityModel(int(v)).String()
 			},
 		},
+		{
+			ID:     "faultloss",
+			Figure: "Ext 8",
+			Title:  "fault tolerance: uniform message loss on every channel",
+			Param:  "LossRate",
+			Values: []float64{0, 0.01, 0.05, 0.10},
+			Apply: func(cfg *core.Config, v float64) {
+				// The same i.i.d. loss rate hits the P2P medium and both
+				// server directions; the hardening defaults (retrieve
+				// retry, server rescue) stay on, so the sweep shows
+				// graceful degradation rather than stalls.
+				cfg.P2PLossProb = v
+				cfg.UplinkLossProb = v
+				cfg.DownlinkLossProb = v
+			},
+			FormatValue: func(v float64) string {
+				return fmt.Sprintf("%.0f%%", 100*v)
+			},
+		},
+		{
+			ID:     "outagechurn",
+			Figure: "Ext 9",
+			Title:  "fault tolerance: server burst outages with host crash churn",
+			Param:  "Outage_s",
+			Values: []float64{0, 2, 5, 10},
+			Apply: func(cfg *core.Config, v float64) {
+				// Hosts crash about once every five simulated minutes and
+				// stay down 5-30 s; the server additionally blacks out for
+				// the swept duration once a minute.
+				cfg.CrashMTBF = 5 * time.Minute
+				if v > 0 {
+					cfg.ServerOutagePeriod = time.Minute
+					cfg.ServerOutageDuration = time.Duration(v * float64(time.Second))
+				}
+			},
+			FormatValue: func(v float64) string {
+				return fmt.Sprintf("%.0fs", v)
+			},
+		},
 	}
 }
 

@@ -1,0 +1,143 @@
+package integration
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// faultConfig is a reduced-scale run for the fault sweeps: small enough
+// that a 12-run sweep stays fast, large enough that every outcome class
+// appears.
+func faultConfig(scheme core.Scheme) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Scheme = scheme
+	cfg.NumClients = 20
+	cfg.NData = 1000
+	cfg.AccessRange = 150
+	cfg.CacheSize = 40
+	cfg.WarmupRequests = 30
+	cfg.MeasuredRequests = 50
+	return cfg
+}
+
+// TestZeroFaultPlanIsIdentical is the determinism guard: installing an
+// all-zero fault plan must not perturb the run in any way — same seeds,
+// byte-identical Results — because zero-probability draws consume no
+// randomness and no extra events are scheduled.
+func TestZeroFaultPlanIsIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario simulation in -short mode")
+	}
+	for _, scheme := range []core.Scheme{core.SchemeSC, core.SchemeCOCA, core.SchemeGroCoca} {
+		cfg := faultConfig(scheme)
+		baseline, err := core.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := network.NewFaultPlan(network.FaultPlanConfig{}, sim.NewRNG(cfg.Seed).Stream("fault"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.InstallFaultPlan(plan)
+		withPlan, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(baseline, withPlan) {
+			t.Errorf("%v: zero fault plan changed the run:\n  baseline: %+v\n  withPlan: %+v",
+				scheme, baseline, withPlan)
+		}
+	}
+}
+
+// TestFaultLossSweepTerminates is the acceptance sweep: uniform loss of
+// 0/1/5/10%% on every channel, all three schemes. Every run must complete
+// with zero stalled hosts — each begun request reaches a terminal outcome.
+func TestFaultLossSweepTerminates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario simulation in -short mode")
+	}
+	for _, scheme := range []core.Scheme{core.SchemeSC, core.SchemeCOCA, core.SchemeGroCoca} {
+		for _, loss := range []float64{0, 0.01, 0.05, 0.10} {
+			t.Run(fmt.Sprintf("%v/loss=%.0f%%", scheme, 100*loss), func(t *testing.T) {
+				cfg := faultConfig(scheme)
+				cfg.P2PLossProb = loss
+				cfg.UplinkLossProb = loss
+				cfg.DownlinkLossProb = loss
+				r := runScenario(t, cfg)
+				if r.Faults.OutstandingRequests != 0 {
+					t.Errorf("%d hosts stalled with in-flight requests: %v",
+						r.Faults.OutstandingRequests, r.Faults)
+				}
+				if r.Requests == 0 {
+					t.Fatal("no measured requests")
+				}
+				total := r.LocalHitRatio + r.GlobalHitRatio + r.ServerRequestRatio + r.FailureRatio
+				if total < 0.999 || total > 1.001 {
+					t.Errorf("outcome ratios sum to %.4f, want 1", total)
+				}
+				if loss > 0 && r.Faults.P2PDrops.Fault == 0 && r.Faults.LinkDrops.Total() == 0 {
+					t.Error("non-zero loss rate produced no fault drops")
+				}
+			})
+		}
+	}
+}
+
+// TestServerOutageRescueRecovers injects scheduled uplink/downlink
+// blackouts and checks the rescue path keeps the system live: exchanges
+// lost to the outage are re-sent and the run drains completely.
+func TestServerOutageRescueRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario simulation in -short mode")
+	}
+	cfg := faultConfig(core.SchemeSC)
+	cfg.ServerOutagePeriod = 30 * time.Second
+	cfg.ServerOutageDuration = 2 * time.Second
+	r := runScenario(t, cfg)
+	if r.Faults.OutstandingRequests != 0 {
+		t.Errorf("%d hosts stalled: %v", r.Faults.OutstandingRequests, r.Faults)
+	}
+	if r.Faults.OutageSeconds == 0 {
+		t.Error("no outage time recorded")
+	}
+	if r.Faults.LinkDrops.UplinkOutage == 0 && r.Faults.LinkDrops.DownlinkOutage == 0 {
+		t.Error("outages destroyed no transmissions")
+	}
+	if r.Faults.ServerRescues == 0 {
+		t.Error("no server rescues despite outage losses")
+	}
+}
+
+// TestCrashChurnRecovers runs GroCoca under host crash churn: hosts drop
+// mid-protocol, lose their state, and must re-join (including signature
+// re-collection) without stalling the run.
+func TestCrashChurnRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario simulation in -short mode")
+	}
+	cfg := faultConfig(core.SchemeGroCoca)
+	cfg.CrashMTBF = time.Minute
+	cfg.CrashDownMin = 2 * time.Second
+	cfg.CrashDownMax = 5 * time.Second
+	r := runScenario(t, cfg)
+	if r.Faults.OutstandingRequests != 0 {
+		t.Errorf("%d hosts stalled: %v", r.Faults.OutstandingRequests, r.Faults)
+	}
+	if r.Faults.Crashes == 0 {
+		t.Error("no crashes occurred under churn")
+	}
+	if r.FailureRatio == 0 && r.Faults.CrashAborts > 0 {
+		t.Error("crash aborts recorded but no failures surfaced")
+	}
+}

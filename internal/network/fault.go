@@ -1,0 +1,231 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// ChannelFaults parameterises the random loss model of one channel: an
+// i.i.d. per-message loss probability composed with a size-dependent
+// bit-error drop (a message of n bytes survives the bit errors with
+// probability (1-BER)^(8n)).
+type ChannelFaults struct {
+	// LossProb is the size-independent per-message loss probability.
+	LossProb float64
+	// BitErrorRate is the per-bit corruption probability; a single
+	// corrupted bit destroys the whole frame.
+	BitErrorRate float64
+}
+
+// DropProb returns the overall drop probability for a message of the
+// given size in bytes.
+func (c ChannelFaults) DropProb(size int) float64 {
+	p := c.LossProb
+	if c.BitErrorRate > 0 && size > 0 {
+		pBits := 1 - math.Pow(1-c.BitErrorRate, float64(8*size))
+		p = 1 - (1-p)*(1-pBits)
+	}
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// zero reports whether the channel never drops.
+func (c ChannelFaults) zero() bool { return c.LossProb <= 0 && c.BitErrorRate <= 0 }
+
+// validate bounds the channel parameters.
+func (c ChannelFaults) validate(name string) error {
+	if c.LossProb < 0 || c.LossProb > 1 {
+		return fmt.Errorf("network: %s loss probability %v outside [0, 1]", name, c.LossProb)
+	}
+	if c.BitErrorRate < 0 || c.BitErrorRate > 1 {
+		return fmt.Errorf("network: %s bit error rate %v outside [0, 1]", name, c.BitErrorRate)
+	}
+	return nil
+}
+
+// FaultPlanConfig composes the per-channel fault models of one run: random
+// loss on the P2P medium and the server uplink/downlink, scheduled burst
+// outages of the infrastructure channel, and mobile-host crash/recover
+// churn. The zero value injects nothing.
+type FaultPlanConfig struct {
+	// P2P is the loss model of the shared P2P medium (applied per
+	// receiver on broadcasts).
+	P2P ChannelFaults
+	// Uplink is the loss model of the client→MSS channel.
+	Uplink ChannelFaults
+	// Downlink is the loss model of the MSS→client channel.
+	Downlink ChannelFaults
+
+	// OutagePeriod and OutageDuration schedule periodic infrastructure
+	// outages: the uplink and downlink destroy every transmission
+	// completing inside [k·Period, k·Period+Duration) for k ≥ 1. Both
+	// zero disables outages.
+	OutagePeriod   time.Duration
+	OutageDuration time.Duration
+
+	// CrashMTBF is the mean up-time between host crashes (exponentially
+	// distributed, drawn per host); zero disables crash churn. A crashed
+	// host loses its in-flight request state and stays down for a
+	// uniform duration in [CrashDownMin, CrashDownMax).
+	CrashMTBF    time.Duration
+	CrashDownMin time.Duration
+	CrashDownMax time.Duration
+}
+
+// Zero reports whether the plan injects no faults at all.
+func (c FaultPlanConfig) Zero() bool {
+	return c.P2P.zero() && c.Uplink.zero() && c.Downlink.zero() &&
+		c.OutageDuration <= 0 && c.CrashMTBF <= 0
+}
+
+// Validate reports whether the fault parameters are usable.
+func (c FaultPlanConfig) Validate() error {
+	if err := c.P2P.validate("p2p"); err != nil {
+		return err
+	}
+	if err := c.Uplink.validate("uplink"); err != nil {
+		return err
+	}
+	if err := c.Downlink.validate("downlink"); err != nil {
+		return err
+	}
+	if c.OutagePeriod < 0 || c.OutageDuration < 0 {
+		return fmt.Errorf("network: negative outage schedule (%v, %v)", c.OutagePeriod, c.OutageDuration)
+	}
+	if c.OutageDuration > 0 {
+		if c.OutagePeriod <= 0 {
+			return fmt.Errorf("network: outage duration %v needs a positive period", c.OutageDuration)
+		}
+		if c.OutageDuration >= c.OutagePeriod {
+			return fmt.Errorf("network: outage duration %v must be shorter than period %v", c.OutageDuration, c.OutagePeriod)
+		}
+	}
+	if c.CrashMTBF < 0 {
+		return fmt.Errorf("network: negative crash MTBF %v", c.CrashMTBF)
+	}
+	if c.CrashMTBF > 0 {
+		if c.CrashDownMin <= 0 {
+			return fmt.Errorf("network: crash downtime minimum %v must be positive", c.CrashDownMin)
+		}
+		if c.CrashDownMax < c.CrashDownMin {
+			return fmt.Errorf("network: crash downtime range [%v, %v] invalid", c.CrashDownMin, c.CrashDownMax)
+		}
+	}
+	return nil
+}
+
+// FaultPlan is a seeded, deterministic source of injected faults. Each
+// channel draws from its own named RNG sub-stream and every host has a
+// private crash stream, so the injected fault sequence is a pure function
+// of (seed, traffic) and replays identically across runs. A plan whose
+// config is Zero never consumes randomness, making a zero-fault run
+// byte-identical to a run with no plan installed.
+type FaultPlan struct {
+	cfg     FaultPlanConfig
+	rngP2P  *sim.RNG
+	rngUp   *sim.RNG
+	rngDown *sim.RNG
+	crashes *sim.RNG
+	perHost map[NodeID]*sim.RNG
+}
+
+// NewFaultPlan builds a plan rooted at the given RNG (conventionally the
+// simulation root's "fault" stream).
+func NewFaultPlan(cfg FaultPlanConfig, rng *sim.RNG) (*FaultPlan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &FaultPlan{
+		cfg:     cfg,
+		rngP2P:  rng.Stream("p2p"),
+		rngUp:   rng.Stream("uplink"),
+		rngDown: rng.Stream("downlink"),
+		crashes: rng.Stream("crash"),
+		perHost: make(map[NodeID]*sim.RNG),
+	}, nil
+}
+
+// Config returns the plan's parameters.
+func (p *FaultPlan) Config() FaultPlanConfig { return p.cfg }
+
+// Zero reports whether the plan injects no faults.
+func (p *FaultPlan) Zero() bool { return p.cfg.Zero() }
+
+// DropP2P draws whether a P2P frame of the given size is destroyed.
+func (p *FaultPlan) DropP2P(size int) bool {
+	return p.rngP2P.Bool(p.cfg.P2P.DropProb(size))
+}
+
+// DropUplink draws whether an uplink message of the given size is
+// destroyed by random loss (outages are checked separately via InOutage).
+func (p *FaultPlan) DropUplink(size int) bool {
+	return p.rngUp.Bool(p.cfg.Uplink.DropProb(size))
+}
+
+// DropDownlink draws whether a downlink message of the given size is
+// destroyed by random loss (outages are checked separately via InOutage).
+func (p *FaultPlan) DropDownlink(size int) bool {
+	return p.rngDown.Bool(p.cfg.Downlink.DropProb(size))
+}
+
+// InOutage reports whether the infrastructure channel is inside a
+// scheduled outage window at the given simulation time.
+func (p *FaultPlan) InOutage(now time.Duration) bool {
+	if p.cfg.OutageDuration <= 0 || p.cfg.OutagePeriod <= 0 {
+		return false
+	}
+	k := now / p.cfg.OutagePeriod
+	return k >= 1 && now-k*p.cfg.OutagePeriod < p.cfg.OutageDuration
+}
+
+// OutageSecondsUntil returns the total scheduled outage time in [0, t],
+// in seconds — the "outage seconds" surfaced in the run's fault report.
+func (p *FaultPlan) OutageSecondsUntil(t time.Duration) float64 {
+	if p.cfg.OutageDuration <= 0 || p.cfg.OutagePeriod <= 0 || t <= 0 {
+		return 0
+	}
+	var total time.Duration
+	for k := time.Duration(1); k*p.cfg.OutagePeriod <= t; k++ {
+		overlap := t - k*p.cfg.OutagePeriod
+		if overlap > p.cfg.OutageDuration {
+			overlap = p.cfg.OutageDuration
+		}
+		total += overlap
+	}
+	return total.Seconds()
+}
+
+// CrashEnabled reports whether the plan injects host crash churn.
+func (p *FaultPlan) CrashEnabled() bool { return p.cfg.CrashMTBF > 0 }
+
+// CrashDelay draws the host's next up-time until it crashes,
+// exponentially distributed with mean CrashMTBF.
+func (p *FaultPlan) CrashDelay(id NodeID) time.Duration {
+	return p.hostRNG(id).Exp(p.cfg.CrashMTBF)
+}
+
+// CrashDowntime draws how long the host stays down after a crash,
+// uniform in [CrashDownMin, CrashDownMax).
+func (p *FaultPlan) CrashDowntime(id NodeID) time.Duration {
+	return p.hostRNG(id).UniformDuration(p.cfg.CrashDownMin, p.cfg.CrashDownMax)
+}
+
+// hostRNG lazily derives the per-host crash stream. Derivation is by
+// name, so the draw sequence of one host is independent of every other
+// host's crash schedule.
+func (p *FaultPlan) hostRNG(id NodeID) *sim.RNG {
+	if r, ok := p.perHost[id]; ok {
+		return r
+	}
+	r := p.crashes.Stream(fmt.Sprintf("host-%d", id))
+	p.perHost[id] = r
+	return r
+}

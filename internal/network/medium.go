@@ -32,10 +32,37 @@ type Medium struct {
 	peers  map[NodeID]Peer
 	order  []NodeID // registration order, for deterministic iteration
 	nics   map[NodeID]*sim.Resource
+	faults *FaultPlan
 	// stats
-	sent, delivered, dropped uint64
-	bytesSent                uint64
+	sent, delivered uint64
+	bytesSent       uint64
+	drops           DropCounts
 }
+
+// DropCounts breaks a medium's dropped-message total down by cause, so
+// experiments can attribute loss.
+type DropCounts struct {
+	// SenderDisconnected counts transmissions whose sender left the
+	// network before its NIC finished sending.
+	SenderDisconnected uint64
+	// Unreachable counts point-to-point sends whose destination was out
+	// of range or disconnected at completion time.
+	Unreachable uint64
+	// Fault counts messages destroyed by the installed FaultPlan.
+	Fault uint64
+	// Unregistered counts messages naming a sender or destination the
+	// medium has never seen.
+	Unregistered uint64
+}
+
+// Total sums the per-cause counters.
+func (d DropCounts) Total() uint64 {
+	return d.SenderDisconnected + d.Unreachable + d.Fault + d.Unregistered
+}
+
+// SetFaultPlan installs the injected-fault source. A nil plan (the
+// default) keeps the ideal channel; it must be set before traffic flows.
+func (m *Medium) SetFaultPlan(p *FaultPlan) { m.faults = p }
 
 // MediumConfig parameterises the medium.
 type MediumConfig struct {
@@ -121,6 +148,7 @@ func (m *Medium) Neighbors(id NodeID) []NodeID {
 func (m *Medium) Broadcast(msg Message) {
 	src, ok := m.peers[msg.From]
 	if !ok {
+		m.drops.Unregistered++
 		return
 	}
 	msg.To = BroadcastID
@@ -128,7 +156,7 @@ func (m *Medium) Broadcast(msg Message) {
 	m.bytesSent += uint64(msg.Size)
 	m.nics[msg.From].Use(TxTime(msg.Size, m.bwKbps), func() {
 		if !src.Connected() {
-			m.dropped++
+			m.drops.SenderDisconnected++
 			return
 		}
 		now := m.k.Now()
@@ -141,7 +169,14 @@ func (m *Medium) Broadcast(msg Message) {
 			if !p.Connected() || !m.inRange(src, p, now) {
 				continue
 			}
+			// The receiver hears the frame (and pays for decoding it)
+			// whether or not the fault plan corrupts it. Per-receiver
+			// draws run in registration order, keeping replays exact.
 			m.meter.Charge(oid, EnergyBroadcastRecv, m.power.BRecv.Energy(msg.Size))
+			if m.faults != nil && m.faults.DropP2P(msg.Size) {
+				m.drops.Fault++
+				continue
+			}
 			m.delivered++
 			p.Receive(msg)
 		}
@@ -155,26 +190,35 @@ func (m *Medium) Broadcast(msg Message) {
 func (m *Medium) Send(msg Message) {
 	src, ok := m.peers[msg.From]
 	if !ok {
+		m.drops.Unregistered++
 		return
 	}
 	dst, ok := m.peers[msg.To]
 	if !ok {
+		m.drops.Unregistered++
 		return
 	}
 	m.sent++
 	m.bytesSent += uint64(msg.Size)
 	m.nics[msg.From].Use(TxTime(msg.Size, m.bwKbps), func() {
 		if !src.Connected() {
-			m.dropped++
+			m.drops.SenderDisconnected++
 			return
 		}
 		now := m.k.Now()
 		m.meter.Charge(msg.From, EnergyP2PSend, m.power.Send.Energy(msg.Size))
 		reachable := dst.Connected() && m.inRange(src, dst, now)
+		faulted := false
 		if reachable {
+			// The destination receives (and pays for) the frame even
+			// when the fault plan corrupts it in transit.
 			m.meter.Charge(msg.To, EnergyP2PRecv, m.power.Recv.Energy(msg.Size))
+			if m.faults != nil && m.faults.DropP2P(msg.Size) {
+				faulted = true
+				m.drops.Fault++
+			}
 		} else {
-			m.dropped++
+			m.drops.Unreachable++
 		}
 		for _, oid := range m.order {
 			if oid == msg.From || oid == msg.To {
@@ -195,14 +239,18 @@ func (m *Medium) Send(msg Message) {
 				m.meter.Charge(oid, EnergyP2PDiscard, m.power.DiscardDst.Energy(msg.Size))
 			}
 		}
-		if reachable {
+		if reachable && !faulted {
 			m.delivered++
 			dst.Receive(msg)
 		}
 	})
 }
 
-// Stats reports message counts since creation.
+// Stats reports message counts since creation; dropped sums every drop
+// cause (see Drops for the breakdown).
 func (m *Medium) Stats() (sent, delivered, dropped, bytesSent uint64) {
-	return m.sent, m.delivered, m.dropped, m.bytesSent
+	return m.sent, m.delivered, m.drops.Total(), m.bytesSent
 }
+
+// Drops reports the per-cause drop counters.
+func (m *Medium) Drops() DropCounts { return m.drops }

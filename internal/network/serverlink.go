@@ -25,8 +25,32 @@ type ServerLink struct {
 	// deliver hands downlink messages to a client; it reports whether the
 	// client accepted it (false when disconnected).
 	deliver func(to NodeID, msg Message) bool
+	faults  *FaultPlan
 	// stats
-	upCount, downCount, downDropped uint64
+	upCount, downCount uint64
+	drops              LinkDrops
+}
+
+// LinkDrops breaks the server link's lost messages down by channel and
+// cause. DownlinkDisconnected mirrors the disconnected-client drops also
+// reported by Stats; the remaining counters are injected faults.
+type LinkDrops struct {
+	// UplinkFault and UplinkOutage count client requests destroyed on
+	// the uplink by random loss and scheduled outages respectively.
+	UplinkFault  uint64
+	UplinkOutage uint64
+	// DownlinkFault and DownlinkOutage count MSS replies destroyed on
+	// the downlink.
+	DownlinkFault  uint64
+	DownlinkOutage uint64
+	// DownlinkDisconnected counts replies addressed to clients that were
+	// disconnected (or unroutable) at delivery time.
+	DownlinkDisconnected uint64
+}
+
+// Total sums the per-cause counters.
+func (d LinkDrops) Total() uint64 {
+	return d.UplinkFault + d.UplinkOutage + d.DownlinkFault + d.DownlinkOutage + d.DownlinkDisconnected
 }
 
 // ServerLinkConfig parameterises the infrastructure channel.
@@ -70,6 +94,16 @@ func (l *ServerLink) SendUp(msg Message) {
 	l.upCount++
 	l.meter.Charge(msg.From, EnergyServerSend, l.power.ServerSend.Energy(msg.Size))
 	l.uplink.Use(TxTime(msg.Size, l.upKbps), func() {
+		if l.faults != nil {
+			if l.faults.InOutage(l.k.Now()) {
+				l.drops.UplinkOutage++
+				return
+			}
+			if l.faults.DropUplink(msg.Size) {
+				l.drops.UplinkFault++
+				return
+			}
+		}
 		if l.handler != nil {
 			l.handler(msg)
 		}
@@ -83,17 +117,31 @@ func (l *ServerLink) SendUp(msg Message) {
 func (l *ServerLink) SendDown(msg Message) {
 	l.downCount++
 	l.downlink.Use(TxTime(msg.Size, l.downKbps), func() {
+		if l.faults != nil {
+			if l.faults.InOutage(l.k.Now()) {
+				l.drops.DownlinkOutage++
+				return
+			}
+			if l.faults.DropDownlink(msg.Size) {
+				l.drops.DownlinkFault++
+				return
+			}
+		}
 		if l.deliver == nil {
-			l.downDropped++
+			l.drops.DownlinkDisconnected++
 			return
 		}
 		if l.deliver(msg.To, msg) {
 			l.meter.Charge(msg.To, EnergyServerRecv, l.power.ServerRecv.Energy(msg.Size))
 		} else {
-			l.downDropped++
+			l.drops.DownlinkDisconnected++
 		}
 	})
 }
+
+// SetFaultPlan installs the injected-fault source for both directions. A
+// nil plan (the default) keeps the ideal channel.
+func (l *ServerLink) SetFaultPlan(p *FaultPlan) { l.faults = p }
 
 // DownlinkUtilization reports the fraction of time the downlink has been
 // busy, the saturation measure behind the scalability experiment.
@@ -102,10 +150,20 @@ func (l *ServerLink) DownlinkUtilization() float64 { return l.downlink.Utilizati
 // DownlinkQueue reports the number of replies waiting for the downlink.
 func (l *ServerLink) DownlinkQueue() int { return l.downlink.QueueLen() }
 
-// Stats reports message counts since creation.
+// UplinkQueue reports the number of requests waiting for the uplink —
+// together with DownlinkQueue and TxTimes it feeds the clients'
+// queue-aware server-rescue timeout estimate.
+func (l *ServerLink) UplinkQueue() int { return l.uplink.QueueLen() }
+
+// Stats reports message counts since creation; downDropped sums every
+// downlink drop cause (see Drops for the breakdown).
 func (l *ServerLink) Stats() (up, down, downDropped uint64) {
-	return l.upCount, l.downCount, l.downDropped
+	return l.upCount, l.downCount,
+		l.drops.DownlinkDisconnected + l.drops.DownlinkFault + l.drops.DownlinkOutage
 }
+
+// Drops reports the per-cause drop counters of both directions.
+func (l *ServerLink) Drops() LinkDrops { return l.drops }
 
 // TxTimes exposes the transmission times for a message of the given size on
 // each direction, for protocol timeout computation.
