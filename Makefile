@@ -1,13 +1,18 @@
 GO ?= go
 
-.PHONY: tier1 vet build test race short bench
+.PHONY: tier1 vet build lint test race short bench
 
-## tier1: the gate every change must pass — vet, build, tests with the
-## race detector.
-tier1: vet build race
+## tier1: the gate every change must pass — vet, build, the determinism
+## lint suite, tests with the race detector.
+tier1: vet build lint race
 
 vet:
 	$(GO) vet ./...
+
+## lint: the custom determinism analyzers (see DESIGN.md "Determinism
+## rules"). Zero unsuppressed diagnostics required.
+lint:
+	$(GO) run ./cmd/grococa-lint ./...
 
 build:
 	$(GO) build ./...

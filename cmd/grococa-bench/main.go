@@ -17,8 +17,13 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/experiments"
 )
+
+// wallClock is the injectable wall-time source; command tests may freeze
+// it with clock.Fixed.
+var wallClock clock.Clock = clock.System{}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -64,7 +69,7 @@ func run(args []string) error {
 		return nil
 	}
 
-	start := time.Now()
+	start := wallClock.Now()
 	switch *exp {
 	case "all":
 		for _, e := range experiments.All() {
@@ -94,7 +99,7 @@ func run(args []string) error {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "total wall time: %v\n", time.Since(start).Round(time.Second))
+	fmt.Fprintf(os.Stderr, "total wall time: %v\n", clock.Since(wallClock, start).Round(time.Second))
 	return nil
 }
 

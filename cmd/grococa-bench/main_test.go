@@ -1,6 +1,14 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
 
 func TestRunRejectsUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-exp", "bogus"}); err == nil {
@@ -31,5 +39,38 @@ func TestRunExtensionExperimentTiny(t *testing.T) {
 	}
 	if err := run([]string{"-exp", "hopdist", "-warmup", "3", "-requests", "5", "-q", "-csv"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunWithFrozenClock pins the injectable wall clock and checks the
+// total-wall-time line is computed from it (0s when frozen).
+func TestRunWithFrozenClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	old := wallClock
+	wallClock = clock.Fixed{T: time.Unix(1700000000, 0)}
+	defer func() { wallClock = old }()
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStderr := os.Stderr
+	os.Stderr = w
+	runErr := run([]string{"-exp", "skew", "-warmup", "2", "-requests", "3", "-q"})
+	os.Stderr = oldStderr
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if !strings.Contains(string(out), "total wall time: 0s") {
+		t.Errorf("frozen clock did not zero the wall-time line:\n%s", out)
 	}
 }

@@ -1,0 +1,84 @@
+// Command grococa-lint is the determinism lint suite: a multichecker over
+// the custom analyzers that enforce this repo's bit-identical
+// reproducibility rules (DESIGN.md "Determinism rules").
+//
+//	grococa-lint ./...            # what make tier1 runs
+//	grococa-lint ./internal/core
+//
+// Analyzers:
+//
+//	mapiterorder  no order-sensitive work inside range-over-map
+//	rngstream     math/rand only inside internal/sim's named-stream RNG
+//	wallclock     no wall-clock reads in simulation packages
+//	errdrop       no silently discarded error returns
+//
+// A finding is suppressed only by an annotated line:
+//
+//	//lint:ignore <analyzer> <non-empty reason>
+//
+// The exit status is 1 when any unsuppressed finding remains.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/errdrop"
+	"repro/internal/lint/mapiterorder"
+	"repro/internal/lint/multichecker"
+	"repro/internal/lint/rngstream"
+	"repro/internal/lint/wallclock"
+)
+
+// analyzers is the suite, in reporting-name order.
+var analyzers = []*analysis.Analyzer{
+	errdrop.Analyzer,
+	mapiterorder.Analyzer,
+	rngstream.Analyzer,
+	wallclock.Analyzer,
+}
+
+func main() {
+	code, err := run(os.Stdout, os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "grococa-lint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the suite and returns the process exit code: 0 clean,
+// 1 when findings remain.
+func run(w io.Writer, args []string) (int, error) {
+	fs := flag.NewFlagSet("grococa-lint", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if *list {
+		for _, a := range analyzers {
+			if _, err := fmt.Fprintf(w, "%-14s %s\n", a.Name, a.Doc); err != nil {
+				return 2, err
+			}
+		}
+		return 0, nil
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := multichecker.Run(w, analyzers, patterns...)
+	if err != nil {
+		return 2, err
+	}
+	if n > 0 {
+		if _, err := fmt.Fprintf(w, "%d determinism lint finding(s)\n", n); err != nil {
+			return 2, err
+		}
+		return 1, nil
+	}
+	return 0, nil
+}

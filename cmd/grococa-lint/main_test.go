@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run(&out, []string{"-list"})
+	if err != nil || code != 0 {
+		t.Fatalf("run(-list) = %d, %v", code, err)
+	}
+	for _, name := range []string{"errdrop", "mapiterorder", "rngstream", "wallclock"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks from source in -short mode")
+	}
+	var out bytes.Buffer
+	code, err := run(&out, []string{"repro/internal/lint/analysis"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit %d on clean package; findings:\n%s", code, out.String())
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	var out bytes.Buffer
+	if code, _ := run(&out, []string{"-bogus"}); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}
+
+func TestBadPatternErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code, err := run(&out, []string{"./no/such/dir/..."}); err == nil || code != 2 {
+		t.Errorf("bad pattern: exit %d, err %v; want 2 with error", code, err)
+	}
+}

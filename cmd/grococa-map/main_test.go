@@ -31,3 +31,39 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("tiny grid accepted")
 	}
 }
+
+func TestRunOutputIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	args := []string{"-clients", "10", "-requests", "20", "-cols", "40", "-rows", "10", "-seed", "7"}
+	var a, b bytes.Buffer
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed drew different maps:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "after ") {
+		t.Errorf("summary line missing:\n%s", a.String())
+	}
+}
+
+func TestRunDifferentSeedsDrawDifferentMaps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	var a, b bytes.Buffer
+	if err := run([]string{"-clients", "10", "-requests", "20", "-seed", "1"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-clients", "10", "-requests", "20", "-seed", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Error("different seeds produced byte-identical maps")
+	}
+}

@@ -38,7 +38,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		defer f.Close()
+		// Read-only file: a close failure cannot lose data.
+		defer func() { _ = f.Close() }()
 		src = f
 	}
 	rows, err := report.ParseCSV(src)
@@ -49,9 +50,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("no data rows in input")
 	}
 	if *list {
-		fmt.Fprintln(stdout, "experiments:", strings.Join(report.Experiments(rows), ", "))
-		fmt.Fprintln(stdout, "metrics:    ", strings.Join(report.Metrics(rows), ", "))
-		return nil
+		if _, err := fmt.Fprintln(stdout, "experiments:", strings.Join(report.Experiments(rows), ", ")); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintln(stdout, "metrics:    ", strings.Join(report.Metrics(rows), ", "))
+		return err
 	}
 	var metrics []string
 	if *metric != "" {

@@ -64,3 +64,42 @@ func TestRunErrors(t *testing.T) {
 		t.Error("malformed input accepted")
 	}
 }
+
+func TestRunOutputIsDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(nil, strings.NewReader(sampleCSV), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(nil, strings.NewReader(sampleCSV), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same input rendered differently:\n--- first\n%s\n--- second\n%s", a.String(), b.String())
+	}
+}
+
+func TestRunWidthScalesBars(t *testing.T) {
+	var narrow, wide bytes.Buffer
+	if err := run([]string{"-width", "10", "-metric", "latency_ms"}, strings.NewReader(sampleCSV), &narrow); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-width", "60", "-metric", "latency_ms"}, strings.NewReader(sampleCSV), &wide); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(wide.String(), "█") <= strings.Count(narrow.String(), "█") {
+		t.Errorf("wider chart did not grow bars: narrow %d cells, wide %d cells",
+			strings.Count(narrow.String(), "█"), strings.Count(wide.String(), "█"))
+	}
+}
+
+func TestRunListIsSorted(t *testing.T) {
+	const twoExp = sampleCSV + "skew,Fig 3,50,SC,10.0,0.1\n"
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, strings.NewReader(twoExp), &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(out.String(), "\n")
+	if !strings.Contains(lines[0], "cachesize") || !strings.Contains(lines[0], "skew") {
+		t.Errorf("experiments line missing entries: %q", lines[0])
+	}
+}

@@ -17,10 +17,15 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/server"
 )
+
+// wallClock is the injectable wall-time source; command tests may freeze
+// it with clock.Fixed.
+var wallClock clock.Clock = clock.System{}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -141,24 +146,28 @@ func run(args []string) error {
 		return fmt.Errorf("unknown criteria %q (want both, distance or similarity)", *criteria)
 	}
 
-	start := time.Now()
+	start := wallClock.Now()
 	s, err := core.New(cfg)
 	if err != nil {
 		return err
 	}
+	var traceW *bufio.Writer
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
 			return fmt.Errorf("trace file: %w", err)
 		}
-		defer f.Close()
-		w := bufio.NewWriter(f)
-		defer w.Flush()
-		if _, err := fmt.Fprintln(w, "sim_time_s,host,outcome,latency_ms"); err != nil {
+		// Close errors are surfaced by the explicit Flush+Close below;
+		// this deferred close only covers early error returns.
+		defer func() { _ = f.Close() }()
+		traceW = bufio.NewWriter(f)
+		if _, err := fmt.Fprintln(traceW, "sim_time_s,host,outcome,latency_ms"); err != nil {
 			return err
 		}
 		s.Collector().OnRecord = func(at time.Duration, host network.NodeID, outcome client.Outcome, latency time.Duration) {
-			fmt.Fprintf(w, "%.3f,%d,%s,%.3f\n",
+			// bufio's error is sticky: a failed row write resurfaces at
+			// the post-run Flush, so it is safe to discard here.
+			_, _ = fmt.Fprintf(traceW, "%.3f,%d,%s,%.3f\n",
 				at.Seconds(), host, outcome, float64(latency)/float64(time.Millisecond))
 		}
 	}
@@ -166,13 +175,18 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	if traceW != nil {
+		if err := traceW.Flush(); err != nil {
+			return fmt.Errorf("trace file: %w", err)
+		}
+	}
 	fmt.Println(r)
 	fmt.Printf("latency: p50=%v p95=%v p99=%v\n",
 		r.P50Latency.Round(100*time.Microsecond),
 		r.P95Latency.Round(100*time.Microsecond),
 		r.P99Latency.Round(100*time.Microsecond))
 	fmt.Printf("sim-time=%v events=%d wall=%v downlink-util=%.1f%% total-energy=%.2fJ completed=%v\n",
-		r.SimTime.Round(time.Second), r.Events, time.Since(start).Round(time.Millisecond),
+		r.SimTime.Round(time.Second), r.Events, clock.Since(wallClock, start).Round(time.Millisecond),
 		100*r.DownlinkUtilization, r.TotalEnergy/1e6, r.Completed)
 	if r.Faults.Any() || *verbose {
 		fmt.Printf("faults: %v\n", r.Faults)

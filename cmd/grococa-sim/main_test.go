@@ -1,10 +1,14 @@
 package main
 
 import (
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/clock"
 )
 
 // tinyArgs shrink the run so command tests finish in milliseconds.
@@ -81,5 +85,36 @@ func TestRunRejectsUnwritableTrace(t *testing.T) {
 	args := append([]string{"-tracefile", "/nonexistent-dir/trace.csv"}, tinyArgs...)
 	if err := run(args); err == nil {
 		t.Error("unwritable trace path accepted")
+	}
+}
+
+// TestRunWithFrozenClock pins the injectable wall clock and checks the
+// wall-time figure in the summary is computed from it (0s when frozen) —
+// the seam the wallclock lint allowlist depends on.
+func TestRunWithFrozenClock(t *testing.T) {
+	old := wallClock
+	wallClock = clock.Fixed{T: time.Unix(1700000000, 0)}
+	defer func() { wallClock = old }()
+
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStdout := os.Stdout
+	os.Stdout = w
+	runErr := run(append([]string{"-scheme", "sc"}, tinyArgs...))
+	os.Stdout = oldStdout
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if !strings.Contains(string(out), "wall=0s") {
+		t.Errorf("frozen clock did not zero the wall-time figure:\n%s", out)
 	}
 }

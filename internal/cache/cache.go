@@ -8,6 +8,7 @@ package cache
 import (
 	"container/list"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/workload"
@@ -176,12 +177,15 @@ func (c *LRU) Candidates(n int) []*Entry {
 	return out
 }
 
-// Items returns the IDs of all cached items in no particular order.
+// Items returns the IDs of all cached items in ascending ID order, so
+// consumers (signature rebuilds, diagnostics) never observe Go's
+// randomized map iteration order.
 func (c *LRU) Items() []workload.ItemID {
 	ids := make([]workload.ItemID, 0, len(c.entries))
 	for id := range c.entries {
 		ids = append(ids, id)
 	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 

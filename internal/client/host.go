@@ -2,6 +2,7 @@ package client
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/bloom"
@@ -222,12 +223,13 @@ func (h *Host) SetBroadcastDisk(d *push.Disk) { h.disk = d }
 func (h *Host) TCGSize() int { return len(h.tcg) }
 
 // TCGMembers returns the host's current TCG member IDs (GroCoca only), in
-// unspecified order.
+// ascending ID order so downstream iteration is deterministic.
 func (h *Host) TCGMembers() []network.NodeID {
 	out := make([]network.NodeID, 0, len(h.tcg))
 	for id := range h.tcg {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -1,0 +1,34 @@
+// Package clock is the injectable wall-clock seam for command-line
+// binaries. Simulation code never reads wall time — virtual time comes
+// from the discrete-event kernel, and the wallclock analyzer enforces
+// that — but the binaries legitimately report how long a run took. They
+// take a Clock instead of calling time.Now directly, so command tests can
+// freeze time and assert on output, and the wallclock allowlist stays at
+// exactly this package plus cmd/.
+package clock
+
+import "time"
+
+// Clock supplies wall-clock readings.
+type Clock interface {
+	Now() time.Time
+}
+
+// System reads the real wall clock.
+type System struct{}
+
+// Now returns the current wall-clock time.
+func (System) Now() time.Time { return time.Now() }
+
+// Fixed is a frozen test clock: Now always returns T.
+type Fixed struct {
+	T time.Time
+}
+
+// Now returns the frozen instant.
+func (f Fixed) Now() time.Time { return f.T }
+
+// Since returns the elapsed wall time on c since start.
+func Since(c Clock, start time.Time) time.Duration {
+	return c.Now().Sub(start)
+}

@@ -1,0 +1,28 @@
+package clock_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestFixedIsFrozen(t *testing.T) {
+	at := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	c := clock.Fixed{T: at}
+	if got := c.Now(); !got.Equal(at) {
+		t.Errorf("Now() = %v, want %v", got, at)
+	}
+	if d := clock.Since(c, at.Add(-3*time.Second)); d != 3*time.Second {
+		t.Errorf("Since = %v, want 3s", d)
+	}
+}
+
+func TestSystemAdvances(t *testing.T) {
+	c := clock.System{}
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Errorf("system clock went backwards: %v then %v", a, b)
+	}
+}

@@ -1,10 +1,11 @@
 package core
 
 import (
-	"math/rand"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/sim"
 )
 
 // smallConfig returns a quick configuration for CI-scale end-to-end tests.
@@ -225,7 +226,7 @@ func TestRandomizedConfigsInvariants(t *testing.T) {
 		t.Skip("end-to-end simulation in -short mode")
 	}
 	for seed := int64(1); seed <= 6; seed++ {
-		rng := rand.New(rand.NewSource(seed))
+		rng := sim.NewRNG(seed)
 		cfg := DefaultConfig()
 		cfg.Seed = seed
 		cfg.Scheme = []Scheme{SchemeSC, SchemeCOCA, SchemeGroCoca}[rng.Intn(3)]

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix is the comment form that suppresses one diagnostic:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed either at the end of the offending line or on its own line
+// immediately above it. The reason is mandatory and must be non-empty —
+// the driver turns a bare directive into an error so suppressions always
+// carry a justification.
+const ignorePrefix = "//lint:ignore"
+
+// Directive is one parsed //lint:ignore comment.
+type Directive struct {
+	Analyzer string
+	Reason   string
+	Pos      token.Pos
+	Line     int
+}
+
+// ParseDirectives extracts every //lint:ignore directive from f. Malformed
+// directives (no analyzer name, or an empty reason) are returned as error
+// diagnostics rather than directives, so they can never silently suppress
+// anything.
+func ParseDirectives(fset *token.FileSet, f *ast.File) ([]Directive, []Diagnostic) {
+	var dirs []Directive
+	var errs []Diagnostic
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+			name, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			if name == "" {
+				errs = append(errs, Diagnostic{Pos: c.Pos(),
+					Message: "malformed directive: want //lint:ignore <analyzer> <reason>"})
+				continue
+			}
+			if reason == "" {
+				errs = append(errs, Diagnostic{Pos: c.Pos(),
+					Message: "lint:ignore " + name + " has no reason; a non-empty justification is required"})
+				continue
+			}
+			dirs = append(dirs, Directive{
+				Analyzer: name,
+				Reason:   reason,
+				Pos:      c.Pos(),
+				Line:     fset.Position(c.Pos()).Line,
+			})
+		}
+	}
+	return dirs, errs
+}
+
+// Suppresses reports whether directive d covers a diagnostic from the named
+// analyzer at the given line: the directive must name that analyzer and sit
+// on the same line (trailing comment) or the line directly above.
+func (d Directive) Suppresses(analyzer string, line int) bool {
+	return d.Analyzer == analyzer && (d.Line == line || d.Line == line-1)
+}

@@ -1,0 +1,130 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its diagnostics against golden expectations embedded in the fixtures —
+// the same contract as golang.org/x/tools/go/analysis/analysistest: a
+// comment
+//
+//	// want "regexp"
+//
+// on a source line means the analyzer must report a diagnostic on that line
+// matching the regexp; several quoted regexps expect several diagnostics.
+// Every diagnostic must be wanted and every want must be matched, so
+// fixtures document triggering and non-triggering forms precisely.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// TestData returns the caller's testdata directory. Go runs tests with the
+// package directory as the working directory, so this is just ./testdata.
+func TestData(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata")
+}
+
+// want is one expected diagnostic.
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var quoted = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// Run loads testdata/src/<path> for each fixture path and verifies the
+// analyzer's diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	for _, path := range paths {
+		runOne(t, filepath.Join(testdata, "src", filepath.FromSlash(path)), path, a)
+	}
+}
+
+func runOne(t *testing.T, dir, path string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg, err := loader.LoadDir(dir, path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+
+	// Collect want expectations keyed by file:line.
+	wants := make(map[string][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range quoted.FindAllString(text, -1) {
+					pat, err := strconv.Unquote(m)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", key, m, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer %s: %v", path, a.Name, err)
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		found := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", k, w.re)
+			}
+		}
+	}
+}

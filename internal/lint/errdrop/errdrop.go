@@ -1,0 +1,157 @@
+// Package errdrop flags silently discarded error returns in non-test
+// simulation code. A dropped error is how a failed trace write, a failed
+// flush, or a short read turns into a silently wrong experiment table —
+// worse than a crash for a reproduction repo, because nothing signals
+// that the numbers are bad.
+//
+// A call statement (expression statement, defer, or go) whose callee's
+// last result is an error is reported unless the error is consumed.
+// Explicitly assigning to the blank identifier (`_ = w.Close()`) is
+// accepted as a visible, greppable statement of intent. Printing to the
+// terminal via fmt.Print/Printf/Println, or fmt.Fprint* directly to
+// os.Stdout/os.Stderr, is exempt: terminal write failures are not
+// actionable. Writes into strings.Builder and bytes.Buffer are exempt
+// too — both document that they never return a non-nil error. Test
+// files are skipped — the testing package has its own failure
+// discipline.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the errdrop pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc:  "flags call statements that silently discard an error result in non-test code",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = n.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = n.Call
+		case *ast.GoStmt:
+			call = n.Call
+		}
+		if call == nil || pass.IsTestFile(call.Pos()) {
+			return true
+		}
+		if !returnsError(pass, call) || terminalPrint(pass, call) || infallibleWrite(pass, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s returns an error that is silently discarded; handle it or assign it to _ explicitly", callName(call))
+		return true
+	})
+	return nil
+}
+
+// returnsError reports whether the call's only or last result is error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.TypesInfo.Types[call].Type
+	switch t := t.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && isError(t.At(t.Len()-1).Type())
+	default:
+		return t != nil && isError(t)
+	}
+}
+
+// isError reports whether t is the built-in error type.
+func isError(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// terminalPrint reports whether the call is an exempt terminal print:
+// fmt.Print/Printf/Println, or fmt.Fprint* aimed at os.Stdout/os.Stderr.
+func terminalPrint(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if !isPkgFunc(pass, sel, "fmt") {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		if len(call.Args) == 0 {
+			return false
+		}
+		dst, ok := call.Args[0].(*ast.SelectorExpr)
+		if !ok || (dst.Sel.Name != "Stdout" && dst.Sel.Name != "Stderr") {
+			return false
+		}
+		return isPkgFunc(pass, dst, "os")
+	}
+	return false
+}
+
+// infallibleWrite reports whether the call writes into a sink whose
+// methods document a permanently nil error: a method on strings.Builder
+// or bytes.Buffer, or an fmt.Fprint* aimed at one.
+func infallibleWrite(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if isInfallibleSink(pass.TypesInfo.Types[sel.X].Type) {
+		return true
+	}
+	switch sel.Sel.Name {
+	case "Fprint", "Fprintf", "Fprintln":
+		return isPkgFunc(pass, sel, "fmt") && len(call.Args) > 0 &&
+			isInfallibleSink(pass.TypesInfo.Types[call.Args[0]].Type)
+	}
+	return false
+}
+
+// isInfallibleSink reports whether t is strings.Builder or bytes.Buffer
+// (or a pointer to one).
+func isInfallibleSink(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}
+
+// isPkgFunc reports whether sel selects from the named standard package.
+func isPkgFunc(pass *analysis.Pass, sel *ast.SelectorExpr, pkg string) bool {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == pkg
+}
+
+// callName renders the callee for diagnostics.
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,55 @@
+// Package a exercises the errdrop analyzer.
+package a
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func mayFailWith() (int, error) { return 0, nil }
+
+func noError() int { return 0 }
+
+func dropped() {
+	mayFail()     // want `mayFail returns an error that is silently discarded`
+	mayFailWith() // want `mayFailWith returns an error that is silently discarded`
+	noError()     // no error result: no diagnostic
+}
+
+func explicitDiscardIsFine() {
+	_ = mayFail()
+	_, _ = mayFailWith()
+}
+
+func handledIsFine() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func deferredAndConcurrent(f io.Closer) {
+	defer f.Close() // want `f.Close returns an error that is silently discarded`
+	go mayFail()    // want `mayFail returns an error that is silently discarded`
+}
+
+func terminalPrintsAreFine(w io.Writer) {
+	fmt.Println("progress")
+	fmt.Printf("done %d\n", 1)
+	fmt.Fprintln(os.Stderr, "note")
+	fmt.Fprintf(os.Stdout, "ok\n")
+	fmt.Fprintf(w, "data row\n") // want `fmt.Fprintf returns an error that is silently discarded`
+}
+
+func infallibleSinksAreFine(b *strings.Builder, buf *bytes.Buffer) {
+	// strings.Builder and bytes.Buffer document a permanently nil error.
+	b.WriteString("x")
+	buf.WriteByte('y')
+	fmt.Fprintf(b, "row %d\n", 1)
+	fmt.Fprintln(buf, "row")
+}

@@ -1,0 +1,8 @@
+package a
+
+// Test files are exempt: the testing package has its own failure
+// discipline, and helpers here routinely drop cleanup errors.
+
+func droppedInTest() {
+	mayFail() // test file: no diagnostic
+}

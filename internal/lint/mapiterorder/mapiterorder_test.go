@@ -1,0 +1,12 @@
+package mapiterorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/mapiterorder"
+)
+
+func TestMapIterOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), mapiterorder.Analyzer, "a")
+}

@@ -1,0 +1,147 @@
+// Package multichecker drives a set of analyzers over loaded packages,
+// applies //lint:ignore suppressions, and renders the surviving findings.
+// cmd/grococa-lint is its command-line front end.
+//
+// Suppression discipline: a `//lint:ignore <analyzer> <reason>` comment on
+// the offending line (or the line directly above) silences exactly the
+// named analyzer there. The reason is mandatory; a bare directive is
+// itself a finding. So is a directive that suppresses nothing — stale
+// annotations must be deleted, not accumulated.
+package multichecker
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+)
+
+// Finding is one unsuppressed diagnostic, positioned and attributed.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// directiveState tracks one parsed directive and whether it earned its
+// keep by suppressing at least one diagnostic.
+type directiveState struct {
+	analysis.Directive
+	file string
+	used bool
+}
+
+// Analyze runs every analyzer over every package and returns the
+// findings that survive suppression, sorted by position.
+func Analyze(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		// Collect this package's directives, keyed by file.
+		byFile := make(map[string][]*directiveState)
+		var all []*directiveState
+		for _, f := range pkg.Files {
+			dirs, errs := analysis.ParseDirectives(pkg.Fset, f)
+			for _, d := range errs {
+				findings = append(findings, Finding{
+					Pos:      pkg.Fset.Position(d.Pos),
+					Analyzer: "ignore",
+					Message:  d.Message,
+				})
+			}
+			for _, d := range dirs {
+				st := &directiveState{Directive: d, file: pkg.Fset.Position(d.Pos).Filename}
+				byFile[st.file] = append(byFile[st.file], st)
+				all = append(all, st)
+			}
+		}
+
+		for _, a := range analyzers {
+			var diags []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				suppressed := false
+				for _, st := range byFile[pos.Filename] {
+					if st.Suppresses(a.Name, pos.Line) {
+						st.used = true
+						suppressed = true
+					}
+				}
+				if !suppressed {
+					findings = append(findings, Finding{Pos: pos, Analyzer: a.Name, Message: d.Message})
+				}
+			}
+		}
+
+		// Directives must name a real analyzer and actually suppress
+		// something; anything else is dead weight that would rot.
+		for _, st := range all {
+			pos := pkg.Fset.Position(st.Directive.Pos)
+			switch {
+			case !known[st.Analyzer]:
+				findings = append(findings, Finding{Pos: pos, Analyzer: "ignore",
+					Message: fmt.Sprintf("lint:ignore names unknown analyzer %q", st.Analyzer)})
+			case !st.used:
+				findings = append(findings, Finding{Pos: pos, Analyzer: "ignore",
+					Message: fmt.Sprintf("unused lint:ignore %s directive: nothing to suppress here; delete it", st.Analyzer)})
+			}
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// Run loads the patterns, analyzes them, and prints findings to w.
+// It returns the number of unsuppressed findings.
+func Run(w io.Writer, analyzers []*analysis.Analyzer, patterns ...string) (int, error) {
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return 0, err
+	}
+	findings, err := Analyze(pkgs, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		if _, err := fmt.Fprintln(w, f); err != nil {
+			return len(findings), err
+		}
+	}
+	return len(findings), nil
+}

@@ -1,0 +1,69 @@
+package multichecker_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/loader"
+	"repro/internal/lint/multichecker"
+	"repro/internal/lint/wallclock"
+)
+
+// analyzeFixture runs the wallclock analyzer over testdata/src/b through
+// the multichecker's suppression machinery.
+func analyzeFixture(t *testing.T) []multichecker.Finding {
+	t.Helper()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "b"), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := multichecker.Analyze([]*loader.Package{pkg}, []*analysis.Analyzer{wallclock.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func TestSuppressionAndDirectiveHygiene(t *testing.T) {
+	findings := analyzeFixture(t)
+
+	var got []string
+	for _, f := range findings {
+		got = append(got, f.String())
+	}
+	joined := strings.Join(got, "\n")
+
+	// The two annotated time.Now calls (leading and trailing directive
+	// placement) are suppressed; the bare one is not.
+	if n := strings.Count(joined, "[wallclock]"); n != 2 {
+		t.Errorf("want 2 wallclock findings (unsuppressed + missing-reason lines), got %d:\n%s", n, joined)
+	}
+	for _, want := range []string{
+		"b.go:19",                       // unsuppressed time.Now
+		"has no reason",                 // bare directive is a finding …
+		"b.go:24",                       // … and its time.Now stays reported
+		`unknown analyzer "nosuchpass"`, // misnamed directive
+		"unused lint:ignore wallclock",  // stale directive
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("findings missing %q:\n%s", want, joined)
+		}
+	}
+	for _, banned := range []string{"b.go:11", "b.go:16"} {
+		if strings.Contains(joined, banned) {
+			t.Errorf("suppressed line %s still reported:\n%s", banned, joined)
+		}
+	}
+}
+
+func TestFindingsAreSorted(t *testing.T) {
+	findings := analyzeFixture(t)
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.Pos.Filename == b.Pos.Filename && a.Pos.Line > b.Pos.Line {
+			t.Fatalf("findings out of order: %v before %v", a, b)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+// Package b exercises the multichecker's suppression discipline: good
+// directives silence findings, and bad directives are findings
+// themselves. (The expectations live in multichecker_test.go, not in
+// want comments — this fixture tests the driver, not an analyzer.)
+package b
+
+import "time"
+
+func suppressed() time.Time {
+	//lint:ignore wallclock operator-facing timestamp, not simulation state
+	return time.Now()
+}
+
+func trailingSuppressed() time.Time {
+	return time.Now() //lint:ignore wallclock operator-facing timestamp, not simulation state
+}
+
+func unsuppressed() time.Time {
+	return time.Now()
+}
+
+func missingReason() time.Time {
+	//lint:ignore wallclock
+	return time.Now()
+}
+
+func wrongAnalyzer() {
+	//lint:ignore nosuchpass whatever
+	_ = 1
+}
+
+func stale() {
+	//lint:ignore wallclock nothing here actually reads the clock
+	_ = 2
+}

@@ -1,0 +1,12 @@
+package rngstream_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/rngstream"
+)
+
+func TestRNGStream(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), rngstream.Analyzer, "a", "internal/sim")
+}

@@ -1,0 +1,10 @@
+// Package a exercises the rngstream analyzer in a non-exempt package.
+package a
+
+import (
+	"math/rand"          // want "import of math/rand outside internal/sim"
+	mrand "math/rand/v2" // want "import of math/rand/v2 outside internal/sim"
+	"strings"            // unrelated import: no diagnostic
+)
+
+func use() int { return rand.Int() + int(mrand.Int32()) + len(strings.TrimSpace("")) }

@@ -1,0 +1,9 @@
+// Package sim stands in for the real internal/sim: the one package
+// allowed to import math/rand, because it implements the named-stream
+// RNG every other package must use.
+package sim
+
+import "math/rand" // exempt package: no diagnostic
+
+// New returns a seeded generator.
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

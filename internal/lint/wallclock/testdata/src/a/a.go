@@ -1,0 +1,25 @@
+// Package a exercises the wallclock analyzer in a simulation package.
+package a
+
+import "time"
+
+func elapsed() time.Duration {
+	start := time.Now()          // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	return time.Since(start)     // want `time.Since reads the wall clock`
+}
+
+func valuesAreFine(d time.Duration) time.Duration {
+	// Durations, constants, and arithmetic on virtual timestamps never
+	// touch the wall clock: no diagnostics.
+	return d + 3*time.Second
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() time.Time { return time.Time{} }
+
+func methodNamedNowIsFine(c fakeClock) time.Time {
+	// Only package time's entry points are wall-clock reads.
+	return c.Now()
+}

@@ -1,0 +1,9 @@
+// Package tool stands in for a cmd/… binary, where wall time is allowed.
+package tool
+
+import "time"
+
+func wallTime() time.Duration {
+	start := time.Now() // cmd packages are allowlisted: no diagnostic
+	return time.Since(start)
+}

@@ -1,0 +1,8 @@
+// Package clock stands in for the injectable wall-clock helper, the one
+// library package allowed to read the wall clock.
+package clock
+
+import "time"
+
+// Now reads the wall clock.
+func Now() time.Time { return time.Now() } // helper package is allowlisted: no diagnostic

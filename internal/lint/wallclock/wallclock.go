@@ -1,0 +1,78 @@
+// Package wallclock forbids reading the wall clock in simulation code.
+// Simulated time advances only through the discrete-event kernel
+// (internal/sim), so a time.Now, time.Since, or time.Sleep anywhere in the
+// model makes behavior depend on host speed and scheduling — exactly what
+// a deterministic simulator must never do. Uses of the time package for
+// plain values (time.Duration, time.Second, …) are fine; only the
+// wall-clock entry points are reported.
+//
+// Allowlisted packages, where wall time is legitimate:
+//
+//   - cmd/… binaries (progress reporting, wall-time summaries) — though
+//     they should still route through internal/clock so tests can inject
+//     a frozen clock;
+//   - internal/clock, the injectable wall-clock helper itself.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer is the wallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "forbids time.Now/time.Since/time.Until/time.Sleep in simulation packages; virtual time must come from the kernel",
+	Run:  run,
+}
+
+// forbidden are the wall-clock entry points of package time.
+var forbidden = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+	"Sleep": true,
+}
+
+// allowed reports whether the package may touch the wall clock: command
+// binaries and the injectable clock helper (including their external
+// test packages).
+func allowed(path string) bool {
+	path = strings.TrimSuffix(path, "_test")
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "cmd" {
+			return true
+		}
+	}
+	return path == "internal/clock" || strings.HasSuffix(path, "/internal/clock")
+}
+
+func run(pass *analysis.Pass) error {
+	if allowed(pass.Pkg.Path()) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !forbidden[sel.Sel.Name] {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok || pkgName.Imported().Path() != "time" {
+			return true
+		}
+		pass.Reportf(call.Pos(), "time.%s reads the wall clock in simulation code; use virtual time from the kernel (see DESIGN.md \"Determinism rules\")", sel.Sel.Name)
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,13 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/wallclock"
+)
+
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), wallclock.Analyzer,
+		"a", "cmd/tool", "internal/clock")
+}

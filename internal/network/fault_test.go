@@ -34,9 +34,9 @@ func TestFaultPlanConfigValidate(t *testing.T) {
 		{P2P: ChannelFaults{LossProb: -0.1}},
 		{Uplink: ChannelFaults{LossProb: 1.5}},
 		{Downlink: ChannelFaults{BitErrorRate: 2}},
-		{OutageDuration: time.Second},                                    // duration without period
-		{OutagePeriod: time.Second, OutageDuration: 2 * time.Second},     // duration >= period
-		{CrashMTBF: time.Minute},                                         // no downtime range
+		{OutageDuration: time.Second},                                // duration without period
+		{OutagePeriod: time.Second, OutageDuration: 2 * time.Second}, // duration >= period
+		{CrashMTBF: time.Minute},                                     // no downtime range
 		{CrashMTBF: time.Minute, CrashDownMin: 2 * time.Second, CrashDownMax: time.Second},
 	}
 	for i, cfg := range bad {
@@ -114,9 +114,9 @@ func TestOutageWindows(t *testing.T) {
 		at   time.Duration
 		want bool
 	}{
-		{0, false},                          // no outage at t=0 (k starts at 1)
+		{0, false}, // no outage at t=0 (k starts at 1)
 		{3 * time.Second, false},
-		{time.Minute, true},                 // window start is inclusive
+		{time.Minute, true}, // window start is inclusive
 		{time.Minute + 4*time.Second, true},
 		{time.Minute + 5*time.Second, false}, // window end is exclusive
 		{2*time.Minute + time.Second, true},
