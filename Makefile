@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build lint test race short bench
+.PHONY: tier1 vet build lint test race short bench race-runner sweep-smoke
 
 ## tier1: the gate every change must pass — vet, build, the determinism
 ## lint suite, tests with the race detector.
@@ -28,3 +28,17 @@ short:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+## race-runner: focused race run on the parallel sweep engine and the
+## simulation kernel it fans out.
+race-runner:
+	$(GO) test -race ./internal/experiments/... ./internal/sim/...
+
+## sweep-smoke: one tiny parallel replicated sweep end-to-end; the CSV must
+## be byte-identical across worker counts.
+sweep-smoke:
+	$(GO) run ./cmd/grococa-bench -exp skew -tiny -reps 3 -parallel 8 -q -csv > .sweep-smoke-p8.csv
+	$(GO) run ./cmd/grococa-bench -exp skew -tiny -reps 3 -parallel 1 -q -csv > .sweep-smoke-p1.csv
+	cmp .sweep-smoke-p1.csv .sweep-smoke-p8.csv
+	rm -f .sweep-smoke-p1.csv .sweep-smoke-p8.csv
+	@echo "sweep-smoke ok: replicated sweep byte-identical across worker counts"

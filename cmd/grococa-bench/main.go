@@ -9,6 +9,8 @@
 //	grococa-bench -exp cachesize           # Fig 2 only
 //	grococa-bench -exp ablations           # design-choice ablations
 //	grococa-bench -exp clients -warmup 150 -requests 250   # paper scale
+//	grococa-bench -exp skew -reps 8 -parallel 0            # mean±sd over 8 replications,
+//	                                                       # all cells fanned out to all cores
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -38,10 +41,16 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	warmup := fs.Int("warmup", 0, "override warm-up requests per host (0 = default)")
 	requests := fs.Int("requests", 0, "override measured requests per host (0 = default)")
+	reps := fs.Int("reps", 1, "replications per sweep cell (deterministically derived seeds; > 1 adds mean±sd columns)")
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS); output is identical for any value")
+	tiny := fs.Bool("tiny", false, "shrink the scenario for smoke runs (8 clients, 400 items)")
 	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
 	csv := fs.Bool("csv", false, "emit CSV rows instead of aligned tables")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *reps < 1 {
+		return fmt.Errorf("-reps %d must be at least 1", *reps)
 	}
 	emit := func(e experiments.Experiment, points []experiments.Point) {
 		if *csv {
@@ -55,6 +64,22 @@ func run(args []string) error {
 		Seed:             *seed,
 		WarmupRequests:   *warmup,
 		MeasuredRequests: *requests,
+		Replications:     *reps,
+		Workers:          *parallel,
+	}
+	if *tiny {
+		base := core.DefaultConfig()
+		base.NumClients = 8
+		base.NData = 400
+		base.AccessRange = 80
+		base.CacheSize = 15
+		opts.Base = &base
+		if *warmup == 0 {
+			opts.WarmupRequests = 4
+		}
+		if *requests == 0 {
+			opts.MeasuredRequests = 8
+		}
 	}
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }

@@ -33,6 +33,34 @@ func TestRunSingleExperimentTiny(t *testing.T) {
 	}
 }
 
+func TestRunRejectsBadReps(t *testing.T) {
+	if err := run([]string{"-reps", "0"}); err == nil {
+		t.Error("-reps 0 accepted")
+	}
+}
+
+// TestRunReplicatedParallelTiny drives the parallel replicated engine end
+// to end through the command: a tiny sweep with -reps/-parallel must
+// succeed and (byte-determinism is pinned in internal/experiments) render
+// the mean±sd table path.
+func TestRunReplicatedParallelTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	if err := run([]string{"-exp", "skew", "-tiny", "-warmup", "2", "-requests", "4", "-reps", "2", "-parallel", "4", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTinyAblationsParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	if err := run([]string{"-exp", "ablations", "-tiny", "-warmup", "2", "-requests", "4", "-reps", "2", "-parallel", "4", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunExtensionExperimentTiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("sweep in -short mode")

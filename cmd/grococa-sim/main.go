@@ -19,6 +19,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/network"
 	"repro/internal/server"
 )
@@ -103,6 +104,8 @@ func run(args []string) error {
 	fs.Float64Var(&cfg.ServerRescueFactor, "rescuefactor", cfg.ServerRescueFactor, "rescue timeout scale over the queue-aware RTT estimate")
 	verbose := fs.Bool("v", false, "print auxiliary counters and host diagnostics")
 	traceFile := fs.String("tracefile", "", "write a CSV trace of every measured request to this file")
+	reps := fs.Int("reps", 1, "independent replications with derived seeds; > 1 prints mean ± sample sd")
+	parallel := fs.Int("parallel", 0, "worker goroutines for -reps (0 = GOMAXPROCS); output is identical for any value")
 
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -144,6 +147,16 @@ func run(args []string) error {
 		cfg.GroupCriteria = server.CriteriaSimilarityOnly
 	default:
 		return fmt.Errorf("unknown criteria %q (want both, distance or similarity)", *criteria)
+	}
+
+	if *reps < 1 {
+		return fmt.Errorf("-reps %d must be at least 1", *reps)
+	}
+	if *reps > 1 {
+		if *traceFile != "" {
+			return fmt.Errorf("-tracefile requires -reps 1 (a trace is one run's requests)")
+		}
+		return runReplicated(cfg, *reps, *parallel)
 	}
 
 	start := wallClock.Now()
@@ -235,5 +248,27 @@ func run(args []string) error {
 			}
 		}
 	}
+	return nil
+}
+
+// runReplicated runs the configuration -reps times on the parallel sweep
+// engine (replication 0 keeps the flag seed, later replications derive
+// independent seeds) and prints each replication plus the mean ± sample
+// standard deviation.
+func runReplicated(cfg core.Config, reps, workers int) error {
+	start := wallClock.Now()
+	rs, p, err := experiments.Replicate(cfg, reps, workers)
+	if err != nil {
+		return err
+	}
+	for i, r := range rs {
+		fmt.Printf("rep %d: %v\n", i, r)
+	}
+	fmt.Printf("mean:  %v\n", p.Results)
+	sp := p.Spread
+	fmt.Printf("sd:    latency=%.3fms server=%.2f%% LCH=%.2f%% GCH=%.2f%% power/GCH=%.0fµWs energy=%.3fJ (n=%d reps)\n",
+		sp.LatencyMS, 100*sp.ServerReqRatio, 100*sp.LocalHitRatio, 100*sp.GlobalHitRatio,
+		sp.EnergyPerGCH, sp.TotalEnergyJ, p.Reps)
+	fmt.Printf("wall=%v\n", clock.Since(wallClock, start).Round(time.Millisecond))
 	return nil
 }

@@ -59,6 +59,46 @@ func TestRunEachDelivery(t *testing.T) {
 	}
 }
 
+func TestRunReplicated(t *testing.T) {
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldStdout := os.Stdout
+	os.Stdout = w
+	args := append([]string{"-scheme", "grococa", "-reps", "3", "-parallel", "4"}, tinyArgs...)
+	runErr := run(args)
+	os.Stdout = oldStdout
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	for _, want := range []string{"rep 0:", "rep 2:", "mean:", "sd:", "(n=3 reps)"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("replicated output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadReps(t *testing.T) {
+	if err := run(append([]string{"-reps", "0"}, tinyArgs...)); err == nil {
+		t.Error("-reps 0 accepted")
+	}
+}
+
+func TestRunRejectsTraceWithReps(t *testing.T) {
+	args := append([]string{"-reps", "2", "-tracefile", filepath.Join(t.TempDir(), "t.csv")}, tinyArgs...)
+	if err := run(args); err == nil {
+		t.Error("-tracefile with -reps > 1 accepted")
+	}
+}
+
 func TestRunWritesTrace(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "trace.csv")
 	args := append([]string{"-scheme", "coca", "-tracefile", path}, tinyArgs...)

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/sim"
+)
+
+// TestResultsInvariants is a property test over randomized small
+// configurations: whatever the scenario, the outcome taxonomy of Section
+// III must account for every measured request (local hits + global hits +
+// server requests + failures == requests), every reported quantity must be
+// in range, and SC — which has no P2P sharing — must show zero peer
+// traffic.
+func TestResultsInvariants(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomized simulations in -short mode")
+	}
+	rng := sim.NewRNG(20260805).Stream("invariants")
+	schemes := []Scheme{SchemeSC, SchemeCOCA, SchemeGroCoca}
+	const trials = 12
+	for i := 0; i < trials; i++ {
+		cfg := DefaultConfig()
+		cfg.Scheme = schemes[i%len(schemes)]
+		cfg.Seed = rng.Int63()
+		cfg.NumClients = 4 + rng.Intn(10)
+		cfg.NData = 200 + rng.Intn(400)
+		cfg.CacheSize = 10 + rng.Intn(30)
+		cfg.AccessRange = 50 + rng.Intn(100)
+		cfg.GroupSize = 1 + rng.Intn(5)
+		cfg.Zipf = rng.Float64()
+		cfg.WarmupRequests = 3 + rng.Intn(5)
+		cfg.MeasuredRequests = 6 + rng.Intn(10)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid config: %v", i, err)
+		}
+		name := cfg.Scheme.String()
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", i, name, err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatalf("trial %d (%s): %v", i, name, err)
+		}
+		c := s.Collector()
+
+		// Conservation: the four outcomes partition the measured requests.
+		sum := c.OutcomeCount(client.OutcomeLocalHit) +
+			c.OutcomeCount(client.OutcomeGlobalHit) +
+			c.OutcomeCount(client.OutcomeServerRequest) +
+			c.OutcomeCount(client.OutcomeFailure)
+		if sum != c.Requests() {
+			t.Errorf("trial %d (%s): outcome counts sum to %d, requests = %d", i, name, sum, c.Requests())
+		}
+		if r.Requests != c.Requests() {
+			t.Errorf("trial %d (%s): Results.Requests %d != collector %d", i, name, r.Requests, c.Requests())
+		}
+		// With no faults or disconnection configured, every host completes
+		// its measured quota.
+		if !r.Completed {
+			t.Errorf("trial %d (%s): fault-free run did not complete", i, name)
+		}
+		// Requests are only recorded once every host has warmed up, so the
+		// measured count is bounded by — but may trail — the full quota.
+		if max := uint64(cfg.NumClients * cfg.MeasuredRequests); r.Requests == 0 || r.Requests > max {
+			t.Errorf("trial %d (%s): requests = %d, want in (0, %d]", i, name, r.Requests, max)
+		}
+
+		// Ratios live in [0, 1] and partition to 1.
+		ratios := map[string]float64{
+			"LCH": r.LocalHitRatio, "GCH": r.GlobalHitRatio,
+			"server": r.ServerRequestRatio, "fail": r.FailureRatio,
+		}
+		total := 0.0
+		for _, k := range []string{"LCH", "GCH", "server", "fail"} {
+			v := ratios[k]
+			if v < 0 || v > 1 {
+				t.Errorf("trial %d (%s): %s ratio %v outside [0,1]", i, name, k, v)
+			}
+			total += v
+		}
+		if total < 1-1e-9 || total > 1+1e-9 {
+			t.Errorf("trial %d (%s): outcome ratios sum to %v, want 1", i, name, total)
+		}
+
+		// Non-negative measurements, ordered quantiles.
+		if r.MeanLatency < 0 || r.TotalEnergy < 0 || r.EnergyPerGCH < 0 {
+			t.Errorf("trial %d (%s): negative metric: latency=%v energy=%v power/GCH=%v",
+				i, name, r.MeanLatency, r.TotalEnergy, r.EnergyPerGCH)
+		}
+		if r.P50Latency > r.P95Latency || r.P95Latency > r.P99Latency {
+			t.Errorf("trial %d (%s): quantiles out of order: p50=%v p95=%v p99=%v",
+				i, name, r.P50Latency, r.P95Latency, r.P99Latency)
+		}
+		if r.DownlinkUtilization < 0 || r.DownlinkUtilization > 1 {
+			t.Errorf("trial %d (%s): downlink utilization %v outside [0,1]", i, name, r.DownlinkUtilization)
+		}
+		if r.EnergyFairness < 0 || r.EnergyFairness > 1+1e-12 {
+			t.Errorf("trial %d (%s): Jain index %v outside [0,1]", i, name, r.EnergyFairness)
+		}
+
+		// No faults were injected, so no fault-cause drops, rescues, or
+		// churn may be reported.
+		f := r.Faults
+		if f.P2PDrops.Fault != 0 || f.LinkDrops.UplinkFault != 0 || f.LinkDrops.DownlinkFault != 0 ||
+			f.OutageSeconds != 0 || f.Crashes != 0 || f.CrashAborts != 0 || f.OutstandingRequests != 0 {
+			t.Errorf("trial %d (%s): fault-free run reports faults: %v", i, name, f)
+		}
+
+		// SC has no cooperative cache: zero peer traffic of any kind.
+		if cfg.Scheme == SchemeSC {
+			if r.GlobalHitRatio != 0 {
+				t.Errorf("trial %d: SC global hit ratio %v, want 0", i, r.GlobalHitRatio)
+			}
+			a := r.Aux
+			if a.SigExchanges != 0 || a.SigBytes != 0 || a.PeerTimeouts != 0 ||
+				a.SameGroupHits != 0 || a.OtherGroupHits != 0 ||
+				a.CoopEvictions != 0 || a.SpillsSent != 0 || a.SpillsAccepted != 0 {
+				t.Errorf("trial %d: SC shows peer traffic: %+v", i, a)
+			}
+		}
+	}
+}

@@ -33,11 +33,18 @@ type Experiment struct {
 	FormatValue func(value float64) string
 }
 
-// Point is one measured cell of a sweep.
+// Point is one measured cell of a sweep. With replications, Results holds
+// the replication mean and Spread the sample standard deviations.
 type Point struct {
 	Value   float64
 	Scheme  core.Scheme
 	Results core.Results
+	// Reps is the number of replications aggregated into this cell (0 and
+	// 1 both mean a single run).
+	Reps int
+	// Spread is the across-replication sample stddev of each reported
+	// metric; nil for single runs.
+	Spread *Spread
 }
 
 // Options scales an experiment run.
@@ -51,8 +58,24 @@ type Options struct {
 	// positive.
 	WarmupRequests   int
 	MeasuredRequests int
-	// Progress, when set, receives a line per completed cell.
+	// Replications runs every sweep cell this many times with
+	// deterministically derived seeds and reports mean ± sample stddev
+	// (≤ 1 means a single run per cell).
+	Replications int
+	// Workers bounds the simulation goroutines; ≤ 0 means
+	// runtime.GOMAXPROCS(0). Output is byte-identical for any value.
+	Workers int
+	// Progress, when set, receives a line per completed cell, always in
+	// canonical cell order and from the calling goroutine.
 	Progress func(string)
+}
+
+// replications returns the effective per-cell replication count.
+func (o Options) replications() int {
+	if o.Replications < 1 {
+		return 1
+	}
+	return o.Replications
 }
 
 func (o Options) baseConfig() core.Config {
@@ -72,27 +95,51 @@ func (o Options) baseConfig() core.Config {
 	return cfg
 }
 
-// Run executes the sweep and returns one point per (value, scheme) cell.
+// Run executes the sweep on the parallel replicated engine and returns one
+// point per (value, scheme) cell, in canonical order — the same order, and
+// for single replications the same bytes, as the historical sequential
+// runner, regardless of Options.Workers.
 func (e Experiment) Run(opts Options) ([]Point, error) {
 	schemes := e.Schemes
 	if len(schemes) == 0 {
 		schemes = []core.Scheme{core.SchemeSC, core.SchemeCOCA, core.SchemeGroCoca}
 	}
-	points := make([]Point, 0, len(e.Values)*len(schemes))
-	for _, v := range e.Values {
-		for _, scheme := range schemes {
-			cfg := opts.baseConfig()
-			cfg.Scheme = scheme
-			e.Apply(&cfg, v)
-			r, err := core.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiment %s (%s=%v, %v): %w", e.ID, e.Param, v, scheme, err)
-			}
-			points = append(points, Point{Value: v, Scheme: scheme, Results: r})
-			if opts.Progress != nil {
-				opts.Progress(fmt.Sprintf("%s %s=%s %v", e.ID, e.Param, e.format(v), r))
-			}
+	type cell struct{ vi, si int }
+	cells := make([]cell, 0, len(e.Values)*len(schemes))
+	for vi := range e.Values {
+		for si := range schemes {
+			cells = append(cells, cell{vi: vi, si: si})
 		}
+	}
+	reps := opts.replications()
+	points := make([]Point, 0, len(cells))
+	run := func(ci, rep int) (core.Results, error) {
+		c := cells[ci]
+		v, scheme := e.Values[c.vi], schemes[c.si]
+		cfg := opts.baseConfig()
+		cfg.Scheme = scheme
+		e.Apply(&cfg, v)
+		cfg.Seed = deriveSeed(cfg.Seed, e.ID, c.vi, scheme, rep)
+		r, err := core.Run(cfg)
+		if err != nil {
+			return core.Results{}, fmt.Errorf("experiment %s (%s=%v, %v, rep %d): %w", e.ID, e.Param, v, scheme, rep, err)
+		}
+		return r, nil
+	}
+	onCell := func(ci int, rs []core.Results) {
+		c := cells[ci]
+		p := aggregate(e.Values[c.vi], schemes[c.si], rs)
+		points = append(points, p)
+		if opts.Progress != nil {
+			line := fmt.Sprintf("%s %s=%s %v", e.ID, e.Param, e.format(p.Value), p.Results)
+			if p.Reps > 1 {
+				line += fmt.Sprintf(" (reps=%d)", p.Reps)
+			}
+			opts.Progress(line)
+		}
+	}
+	if err := runPool(len(cells), reps, opts.Workers, run, onCell); err != nil {
+		return nil, err
 	}
 	return points, nil
 }
@@ -105,8 +152,14 @@ func (e Experiment) format(v float64) string {
 }
 
 // Table renders the measured points as the four-metric table of the paper's
-// figures.
+// figures. Replicated sweeps switch to mean±sd cells with a reps column;
+// single-run sweeps keep the historical byte layout.
 func (e Experiment) Table(points []Point) string {
+	for _, p := range points {
+		if p.Spread != nil {
+			return e.replicatedTable(points)
+		}
+	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s (%s)\n", e.Figure, e.Title, e.Param)
 	// The failure column appears only when some cell has failures (the
@@ -151,6 +204,59 @@ func (e Experiment) Table(points []Point) string {
 			100*r.GlobalHitRatio,
 			powerPerGCH,
 			r.TotalEnergy/1e6,
+		)
+	}
+	return b.String()
+}
+
+// replicatedTable renders mean±sd cells: every metric column shows the
+// replication mean followed by the sample standard deviation.
+func (e Experiment) replicatedTable(points []Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s (%s), mean±sd over replications\n", e.Figure, e.Title, e.Param)
+	showFail := false
+	for _, p := range points {
+		if p.Results.FailureRatio > 0 {
+			showFail = true
+			break
+		}
+	}
+	failHeader := ""
+	if showFail {
+		failHeader = "        fail%"
+	}
+	fmt.Fprintf(&b, "%-10s %-8s %4s %16s %14s %12s %12s%s %16s %14s\n",
+		e.Param, "scheme", "reps", "latency(ms)", "server-req%", "LCH%", "GCH%", failHeader, "power/GCH(µWs)", "energy(J)")
+	meanSD := func(mean, sd float64, prec int) string {
+		return fmt.Sprintf("%.*f±%.*f", prec, mean, prec, sd)
+	}
+	for _, p := range points {
+		r := p.Results
+		sp := p.Spread
+		if sp == nil {
+			sp = &Spread{}
+		}
+		reps := p.Reps
+		if reps < 1 {
+			reps = 1
+		}
+		powerPerGCH := "-"
+		if r.GlobalHitRatio > 0 {
+			powerPerGCH = meanSD(r.EnergyPerGCH, sp.EnergyPerGCH, 0)
+		}
+		fail := ""
+		if showFail {
+			fail = " " + fmt.Sprintf("%12s", meanSD(100*r.FailureRatio, 100*sp.FailureRatio, 1))
+		}
+		fmt.Fprintf(&b, "%-10s %-8s %4d %16s %14s %12s %12s%s %16s %14s\n",
+			e.format(p.Value), r.Scheme, reps,
+			meanSD(float64(r.MeanLatency)/float64(time.Millisecond), sp.LatencyMS, 2),
+			meanSD(100*r.ServerRequestRatio, 100*sp.ServerReqRatio, 1),
+			meanSD(100*r.LocalHitRatio, 100*sp.LocalHitRatio, 1),
+			meanSD(100*r.GlobalHitRatio, 100*sp.GlobalHitRatio, 1),
+			fail,
+			powerPerGCH,
+			meanSD(r.TotalEnergy/1e6, sp.TotalEnergyJ, 2),
 		)
 	}
 	return b.String()
@@ -275,22 +381,37 @@ func Ablations() []Ablation {
 }
 
 // RunAblations evaluates each ablation with the GroCoca scheme and returns
-// the results keyed by ablation ID, in definition order.
+// the results keyed by ablation ID, in definition order. It runs on the
+// same parallel replicated engine as the sweeps; with replications each
+// entry is the replication mean.
 func RunAblations(opts Options) ([]Ablation, []core.Results, error) {
 	abls := Ablations()
+	reps := opts.replications()
 	results := make([]core.Results, 0, len(abls))
-	for _, a := range abls {
+	run := func(ci, rep int) (core.Results, error) {
 		cfg := opts.baseConfig()
 		cfg.Scheme = core.SchemeGroCoca
-		a.Apply(&cfg)
+		abls[ci].Apply(&cfg)
+		cfg.Seed = deriveSeed(cfg.Seed, "ablations", ci, core.SchemeGroCoca, rep)
 		r, err := core.Run(cfg)
 		if err != nil {
-			return nil, nil, fmt.Errorf("ablation %s: %w", a.ID, err)
+			return core.Results{}, fmt.Errorf("ablation %s (rep %d): %w", abls[ci].ID, rep, err)
 		}
+		return r, nil
+	}
+	onCell := func(ci int, rs []core.Results) {
+		r := meanResults(rs)
 		results = append(results, r)
 		if opts.Progress != nil {
-			opts.Progress(fmt.Sprintf("ablation %s: %v", a.ID, r))
+			line := fmt.Sprintf("ablation %s: %v", abls[ci].ID, r)
+			if len(rs) > 1 {
+				line += fmt.Sprintf(" (reps=%d)", len(rs))
+			}
+			opts.Progress(line)
 		}
+	}
+	if err := runPool(len(abls), reps, opts.Workers, run, onCell); err != nil {
+		return nil, nil, err
 	}
 	return abls, results, nil
 }

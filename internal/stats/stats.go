@@ -41,6 +41,19 @@ func (w *Welford) Variance() float64 {
 // StdDev returns the population standard deviation.
 func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
 
+// SampleVariance returns the Bessel-corrected (n−1) variance, the unbiased
+// estimator used for across-replication confidence reporting; zero with
+// fewer than two samples.
+func (w *Welford) SampleVariance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// SampleStdDev returns the sample standard deviation (√SampleVariance).
+func (w *Welford) SampleStdDev() float64 { return math.Sqrt(w.SampleVariance()) }
+
 // Sum returns mean × count, the total of all samples.
 func (w *Welford) Sum() float64 { return w.mean * float64(w.n) }
 

@@ -43,6 +43,40 @@ func TestWelfordEmptyAndSingle(t *testing.T) {
 	}
 }
 
+func TestWelfordSampleVariance(t *testing.T) {
+	samples := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var w Welford
+	for _, s := range samples {
+		w.Add(s)
+	}
+	// Population variance 4 over n=8 → sample variance 32/7.
+	if got, want := w.SampleVariance(), 32.0/7; math.Abs(got-want) > 1e-12 {
+		t.Errorf("SampleVariance = %v, want %v", got, want)
+	}
+	if got, want := w.SampleStdDev(), math.Sqrt(32.0/7); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SampleStdDev = %v, want %v", got, want)
+	}
+	// Fewer than two samples has no spread estimate.
+	var one Welford
+	one.Add(42)
+	if one.SampleVariance() != 0 || one.SampleStdDev() != 0 {
+		t.Error("sample variance of a single sample must be 0")
+	}
+	// Bessel correction: sample variance ≥ population variance always.
+	if err := quick.Check(func(xs []float64) bool {
+		var q Welford
+		for _, x := range xs {
+			if math.IsNaN(x) || math.Abs(x) > 1e100 { // keep m2 finite
+				return true
+			}
+			q.Add(x)
+		}
+		return q.SampleVariance() >= q.Variance()
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestWelfordReset(t *testing.T) {
 	var w Welford
 	w.Add(1)
