@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build lint test race short bench race-runner sweep-smoke
+.PHONY: tier1 vet build lint test race short bench race-runner sweep-smoke chaos-smoke
 
 ## tier1: the gate every change must pass — vet, build, the determinism
 ## lint suite, tests with the race detector.
@@ -42,3 +42,19 @@ sweep-smoke:
 	cmp .sweep-smoke-p1.csv .sweep-smoke-p8.csv
 	rm -f .sweep-smoke-p1.csv .sweep-smoke-p8.csv
 	@echo "sweep-smoke ok: replicated sweep byte-identical across worker counts"
+
+## chaos-smoke: a short chaos campaign matrix under the invariant auditor.
+## Three legs: (1) the default campaigns must be violation-free, (2) the
+## report must be byte-identical across worker counts, (3) the -selftest
+## run (a deliberately seeded TTL-corruption bug) must FAIL — proving the
+## auditor actually detects protocol bugs. Violations print their repro
+## command in the log.
+chaos-smoke:
+	$(GO) run ./cmd/grococa-chaos -seeds 2 -parallel 4 > .chaos-smoke-p4.txt
+	$(GO) run ./cmd/grococa-chaos -seeds 2 -parallel 1 > .chaos-smoke-p1.txt
+	cmp .chaos-smoke-p1.txt .chaos-smoke-p4.txt
+	rm -f .chaos-smoke-p1.txt .chaos-smoke-p4.txt
+	@if $(GO) run ./cmd/grococa-chaos -selftest -campaign loss-ramp -scheme coca -seeds 1 > /dev/null 2>&1; then \
+		echo "chaos-smoke FAILED: the seeded self-test bug went undetected" >&2; exit 1; \
+	fi
+	@echo "chaos-smoke ok: campaigns clean, output worker-count-identical, self-test bug caught"

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-nonsense"},
+		{"-seeds", "0"},
+		{"-campaign", "bogus"},
+		{"-scheme", "bogus"},
+	}
+	for _, args := range cases {
+		if _, err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	code, err := run([]string{"-list"}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("list: code %d, err %v", code, err)
+	}
+	for _, name := range []string{"loss-ramp", "burst-storm", "outage-storm", "churn-wave", "blackout", "combined"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("catalog misses %s:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestRunSingleCellClean drives the full path — campaign, auditor, table —
+// for one cell and checks the clean exit code.
+func TestRunSingleCellClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign simulation in -short mode")
+	}
+	var out bytes.Buffer
+	code, err := run([]string{"-campaign", "outage-storm", "-scheme", "grococa", "-seeds", "1", "-v"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("clean cell exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "1 runs, 1 clean, 0 violations") {
+		t.Errorf("summary line missing:\n%s", out.String())
+	}
+}
+
+// TestRunByteIdenticalAcrossParallel pins the acceptance requirement at
+// the command level: identical stdout for -parallel 1 and 4.
+func TestRunByteIdenticalAcrossParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign simulation in -short mode")
+	}
+	outputs := make([]string, 0, 2)
+	for _, p := range []string{"1", "4"} {
+		var out bytes.Buffer
+		code, err := run([]string{"-campaign", "churn-wave", "-seeds", "2", "-parallel", p, "-v"}, &out)
+		if err != nil || code != 0 {
+			t.Fatalf("-parallel %s: code %d, err %v", p, code, err)
+		}
+		outputs = append(outputs, out.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("output differs across -parallel:\n--- 1 ---\n%s--- 4 ---\n%s", outputs[0], outputs[1])
+	}
+}
+
+// TestRunSelfTestFails proves the detection chain through the command: the
+// seeded TTL-corruption bug must produce a nonzero exit and violations
+// whose repro line carries -selftest.
+func TestRunSelfTestFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign simulation in -short mode")
+	}
+	var out bytes.Buffer
+	code, err := run([]string{"-selftest", "-campaign", "loss-ramp", "-scheme", "coca", "-seeds", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code == 0 {
+		t.Fatalf("self-test exited clean — the auditor is blind:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "repro: go run ./cmd/grococa-chaos") ||
+		!strings.Contains(out.String(), "-selftest") {
+		t.Errorf("violations miss the repro command:\n%s", out.String())
+	}
+}

@@ -1,0 +1,94 @@
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/client"
+)
+
+// OutcomeCount tallies one terminal outcome.
+type OutcomeCount struct {
+	// Outcome is the terminal classification.
+	Outcome client.Outcome
+	// Count is how many requests ended with it.
+	Count uint64
+}
+
+// CauseCount tallies one abnormal-termination cause.
+type CauseCount struct {
+	// Cause is the attribution string (e.g. "crash-abort").
+	Cause string
+	// Count is how many requests ended with it.
+	Count uint64
+}
+
+// Report is the auditor's verdict for one run. All slices are in a
+// deterministic order, so rendering a report is byte-stable across worker
+// counts and reruns.
+type Report struct {
+	// Completed reports whether the run finished its quota (vs horizon
+	// expiry).
+	Completed bool
+	// Violations lists the recorded invariant breaches in observation
+	// order; DroppedViolations counts breaches past the storage cap.
+	Violations        []Violation
+	DroppedViolations int
+	// Begun and Ended are the conservation totals; on a clean run they
+	// are equal.
+	Begun uint64
+	Ended uint64
+	// Outcomes and Causes break the terminations down.
+	Outcomes []OutcomeCount
+	Causes   []CauseCount
+	// FreshServes and StaleServes classify every served hit against the
+	// catalog's authoritative update history (ground truth, not the TTL
+	// estimate).
+	FreshServes uint64
+	StaleServes uint64
+	// Recovery summarises the per-cause recovery episodes.
+	Recovery []RecoveryStats
+}
+
+// Clean reports whether the run produced no violations at all.
+func (r Report) Clean() bool {
+	return len(r.Violations) == 0 && r.DroppedViolations == 0
+}
+
+// TotalViolations counts recorded and dropped breaches.
+func (r Report) TotalViolations() int {
+	return len(r.Violations) + r.DroppedViolations
+}
+
+// StaleRatio returns the ground-truth stale fraction of served hits.
+func (r Report) StaleRatio() float64 {
+	total := r.FreshServes + r.StaleServes
+	if total == 0 {
+		return 0
+	}
+	return float64(r.StaleServes) / float64(total)
+}
+
+// Summary renders the report as a compact multi-line string.
+func (r Report) Summary() string {
+	var b strings.Builder
+	status := "completed"
+	if !r.Completed {
+		status = "horizon-expired"
+	}
+	fmt.Fprintf(&b, "run %s: %d violations, %d/%d requests conserved\n",
+		status, r.TotalViolations(), r.Ended, r.Begun)
+	fmt.Fprintf(&b, "hits: %d fresh, %d stale (ground-truth stale ratio %.3f)\n",
+		r.FreshServes, r.StaleServes, r.StaleRatio())
+	for _, o := range r.Outcomes {
+		fmt.Fprintf(&b, "  outcome %-14s %d\n", o.Outcome.String(), o.Count)
+	}
+	for _, c := range r.Causes {
+		fmt.Fprintf(&b, "  cause   %-20s %d\n", c.Cause, c.Count)
+	}
+	for _, s := range r.Recovery {
+		fmt.Fprintf(&b, "  recovery %-8s episodes=%d recovered=%d unrecovered=%d mean=%v max=%v\n",
+			s.Cause, s.Episodes, s.Recovered, s.Unrecovered, s.MeanRecovery(), s.MaxRecovery)
+	}
+	return b.String()
+}

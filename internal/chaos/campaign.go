@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+// Campaign is one named adversarial scenario family: Apply draws the
+// concrete fault parameters from the chain and writes them into the run
+// configuration. Apply must draw in a fixed order and must not touch the
+// scheme — the same chain is replayed for every scheme of a cell.
+type Campaign struct {
+	// Name identifies the campaign in reports and repro commands.
+	Name string
+	// Description is the one-line summary shown by -list.
+	Description string
+	// Apply draws the scenario parameters and configures the run.
+	Apply func(p *Params, cfg *core.Config)
+}
+
+// Campaigns returns the default campaign matrix, ordered as reported.
+func Campaigns() []Campaign {
+	return []Campaign{
+		{
+			Name:        "loss-ramp",
+			Description: "static loss on every channel, ramped in from zero over tens of seconds",
+			Apply: func(p *Params, cfg *core.Config) {
+				cfg.P2PLossProb = p.Float(0.05, 0.15)
+				cfg.UplinkLossProb = p.Float(0.02, 0.08)
+				cfg.DownlinkLossProb = p.Float(0.02, 0.08)
+				cfg.FaultRampUp = p.Duration(10*time.Second, 30*time.Second)
+			},
+		},
+		{
+			Name:        "burst-storm",
+			Description: "Gilbert–Elliott burst loss on the p2p medium and both server links",
+			Apply: func(p *Params, cfg *core.Config) {
+				cfg.P2PBurst = network.BurstFaults{
+					GoodToBad: p.Float(0.02, 0.06),
+					BadToGood: p.Float(0.2, 0.5),
+					GoodLoss:  p.Float(0, 0.02),
+					BadLoss:   p.Float(0.4, 0.8),
+				}
+				link := network.BurstFaults{
+					GoodToBad: p.Float(0.01, 0.03),
+					BadToGood: p.Float(0.3, 0.6),
+					BadLoss:   p.Float(0.3, 0.6),
+				}
+				cfg.UplinkBurst = link
+				cfg.DownlinkBurst = link
+			},
+		},
+		{
+			Name:        "outage-storm",
+			Description: "frequent scheduled MSS blackouts exercising the rescue path",
+			Apply: func(p *Params, cfg *core.Config) {
+				cfg.ServerOutagePeriod = p.Duration(20*time.Second, 40*time.Second)
+				cfg.ServerOutageDuration = p.Duration(time.Second, 4*time.Second)
+			},
+		},
+		{
+			Name:        "churn-wave",
+			Description: "host crash churn plus voluntary disconnections",
+			Apply: func(p *Params, cfg *core.Config) {
+				cfg.CrashMTBF = p.Duration(45*time.Second, 90*time.Second)
+				cfg.CrashDownMin = p.Duration(time.Second, 3*time.Second)
+				cfg.CrashDownMax = p.Duration(4*time.Second, 8*time.Second)
+				cfg.DiscProb = p.Float(0.02, 0.08)
+				cfg.DiscMin = 2 * time.Second
+				cfg.DiscMax = 8 * time.Second
+			},
+		},
+		{
+			Name:        "blackout",
+			Description: "total p2p loss — the bounded-τ invariant under a dead medium",
+			Apply: func(p *Params, cfg *core.Config) {
+				cfg.P2PLossProb = 1
+				cfg.UplinkLossProb = p.Float(0, 0.03)
+				cfg.DownlinkLossProb = p.Float(0, 0.03)
+			},
+		},
+		{
+			Name:        "combined",
+			Description: "moderate doses of every fault class at once",
+			Apply: func(p *Params, cfg *core.Config) {
+				cfg.P2PLossProb = p.Float(0.02, 0.06)
+				cfg.UplinkLossProb = p.Float(0.01, 0.04)
+				cfg.DownlinkLossProb = p.Float(0.01, 0.04)
+				cfg.P2PBurst = network.BurstFaults{
+					GoodToBad: p.Float(0.01, 0.03),
+					BadToGood: p.Float(0.3, 0.6),
+					BadLoss:   p.Float(0.3, 0.5),
+				}
+				cfg.ServerOutagePeriod = p.Duration(40*time.Second, 60*time.Second)
+				cfg.ServerOutageDuration = p.Duration(time.Second, 2*time.Second)
+				cfg.CrashMTBF = p.Duration(90*time.Second, 150*time.Second)
+				cfg.CrashDownMin = p.Duration(time.Second, 3*time.Second)
+				cfg.CrashDownMax = p.Duration(4*time.Second, 8*time.Second)
+			},
+		},
+	}
+}
+
+// CampaignByName looks a campaign up in the default matrix.
+func CampaignByName(name string) (Campaign, bool) {
+	for _, c := range Campaigns() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Campaign{}, false
+}
+
+// BaseConfig is the reduced-scale run every campaign mutates: small enough
+// that a 20-seed matrix finishes in minutes, large enough that every
+// protocol path (peer hits, server misses, TCGs, updates) is exercised and
+// the staleness oracle sees both fresh and ground-truth-stale serves.
+func BaseConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.NumClients = 24
+	cfg.NData = 1000
+	cfg.AccessRange = 200
+	cfg.CacheSize = 30
+	cfg.WarmupRequests = 30
+	cfg.MeasuredRequests = 60
+	cfg.MeanInterarrival = 500 * time.Millisecond
+	cfg.DataUpdateRate = 20
+	cfg.ReviseEvery = 5 * time.Second
+	return cfg
+}

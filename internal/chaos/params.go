@@ -1,0 +1,69 @@
+// Package chaos is the seeded adversarial-scenario generator of the chaos
+// subsystem: it composes the fault layer's primitives (random loss, loss
+// ramps, Gilbert–Elliott burst channels, scheduled server outages, crash
+// churn, disconnections) into named campaigns, runs each campaign across
+// the caching schemes under the online invariant auditor, and attaches a
+// one-line repro command to every violation.
+//
+// Everything a campaign randomises is drawn from a Params chain derived
+// purely from (base seed, campaign name, seed index) through the SplitMix64
+// finalizer — never from the scheme, so the three schemes of one cell face
+// byte-identical fault scenarios, and never from wall clock or worker
+// scheduling, so a campaign matrix is reproducible run-to-run and across
+// worker counts.
+package chaos
+
+import (
+	"hash/fnv"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Params is a deterministic parameter chain: a SplitMix64 state advanced
+// once per draw. It is deliberately not a sim.RNG — campaign parameters
+// must stay decoupled from the simulation's own random streams so that
+// changing a campaign range never perturbs an unrelated draw.
+type Params struct {
+	x uint64
+}
+
+// NewParams derives a chain from the base seed and a label path. Equal
+// inputs give equal chains; any differing label decorrelates the whole
+// chain through the finalizer.
+func NewParams(base int64, labels ...string) *Params {
+	h := fnv.New64a()
+	for _, l := range labels {
+		_, _ = h.Write([]byte(l))
+		_, _ = h.Write([]byte{0})
+	}
+	return &Params{x: sim.SplitMix64(uint64(base) ^ h.Sum64())}
+}
+
+// Index decorrelates the chain by a seed index and returns the receiver.
+func (p *Params) Index(k int) *Params {
+	p.x = sim.SplitMix64(p.x ^ uint64(k))
+	return p
+}
+
+// next advances the chain one step.
+func (p *Params) next() uint64 {
+	p.x = sim.SplitMix64(p.x)
+	return p.x
+}
+
+// Seed draws a simulation seed.
+func (p *Params) Seed() int64 {
+	return int64(p.next())
+}
+
+// Float draws uniformly from [lo, hi).
+func (p *Params) Float(lo, hi float64) float64 {
+	u := float64(p.next()>>11) / (1 << 53)
+	return lo + (hi-lo)*u
+}
+
+// Duration draws uniformly from [lo, hi).
+func (p *Params) Duration(lo, hi time.Duration) time.Duration {
+	return time.Duration(p.Float(float64(lo), float64(hi)))
+}

@@ -184,6 +184,18 @@ func (c Config) Validate() error {
 		if c.InitialTimeoutFactor <= 0 && c.FixedTimeout <= 0 {
 			return fmt.Errorf("client: need a positive timeout factor or fixed timeout")
 		}
+		// Negative factors are rejected outright, even when a fixed timeout
+		// would mask them: a later switch back to the adaptive timeout must
+		// not inherit a nonsensical ϕ or ϕ'.
+		if c.InitialTimeoutFactor < 0 {
+			return fmt.Errorf("client: negative initial timeout factor %v", c.InitialTimeoutFactor)
+		}
+		if c.TimeoutStdDevFactor < 0 {
+			return fmt.Errorf("client: negative timeout stddev factor %v", c.TimeoutStdDevFactor)
+		}
+		if c.FixedTimeout < 0 {
+			return fmt.Errorf("client: negative fixed timeout %v", c.FixedTimeout)
+		}
 	}
 	if c.DiscProb < 0 || c.DiscProb > 1 {
 		return fmt.Errorf("client: disconnect probability %v outside [0, 1]", c.DiscProb)

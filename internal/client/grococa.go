@@ -70,6 +70,9 @@ func (h *Host) admit(item workload.ItemID, now, ttl time.Duration, fromTCG bool)
 		e.TTL = ttl
 		e.SingletTTL = h.cfg.ReplaceDelay
 		h.cache.Touch(item, now)
+		if a := h.audit(); a != nil {
+			a.CopyAdmitted(now, h.id, item, ttl)
+		}
 		return
 	}
 	if h.cache.Full() {
@@ -100,6 +103,9 @@ func (h *Host) admit(item workload.ItemID, now, ttl time.Duration, fromTCG bool)
 		return // cannot happen: space was just ensured
 	}
 	h.sigInsert(item)
+	if a := h.audit(); a != nil {
+		a.CopyAdmitted(now, h.id, item, ttl)
+	}
 }
 
 // pickVictim chooses the entry to evict. GroCoca's cooperative replacement

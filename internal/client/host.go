@@ -54,6 +54,8 @@ type pendingRequest struct {
 	// exchange.
 	retrieveAttempts int
 	serverAttempts   int
+	// cause attributes abnormal terminations for the audit feed.
+	cause string
 }
 
 // Host is one mobile host. It is driven entirely by simulation events; all
@@ -317,6 +319,9 @@ func (h *Host) Preload(item workload.ItemID, ttl time.Duration) error {
 		return err
 	}
 	h.sigInsert(item)
+	if a := h.audit(); a != nil {
+		a.CopyAdmitted(now, h.id, item, ttl)
+	}
 	return nil
 }
 
@@ -345,6 +350,9 @@ func (h *Host) complete(outcome Outcome) {
 // completion bookkeeping shared by complete and crash aborts.
 func (h *Host) finish(p *pendingRequest, outcome Outcome) {
 	now := h.k.Now()
+	if a := h.audit(); a != nil {
+		a.RequestEnded(now, h.id, p.seq, p.item, outcome, p.cause, now-p.start)
+	}
 	h.completed++
 	if h.completed == h.cfg.WarmupRequests {
 		h.collector.hostWarm(now)
@@ -381,12 +389,16 @@ func (h *Host) crash() {
 		h.nextReqEv.Cancel()
 		h.nextReqEv = nil
 	}
+	if a := h.audit(); a != nil {
+		a.FaultEvent(h.k.Now(), h.id, "crash")
+	}
 	if p := h.cur; p != nil {
 		h.cur = nil
 		if p.timeout != nil {
 			p.timeout.Cancel()
 		}
 		h.collector.crashAborts++
+		p.cause = "crash-abort"
 		h.finish(p, OutcomeFailure)
 	}
 	h.k.Schedule(h.faults.CrashDowntime(h.id), h.recoverFromCrash)

@@ -173,6 +173,34 @@ func TestConfigValidate(t *testing.T) {
 			c.HopDist = 0
 			c.P2PBandwidthKbps = 0
 		}, false},
+		{"no timeout at all", func(c *Config) {
+			c.InitialTimeoutFactor = 0
+			c.FixedTimeout = 0
+		}, true},
+		{"fixed timeout alone", func(c *Config) {
+			c.InitialTimeoutFactor = 0
+			c.TimeoutStdDevFactor = 0
+			c.FixedTimeout = time.Second
+		}, false},
+		{"negative initial factor with fixed timeout", func(c *Config) {
+			c.InitialTimeoutFactor = -1
+			c.FixedTimeout = time.Second
+		}, true},
+		{"negative stddev factor with fixed timeout", func(c *Config) {
+			c.TimeoutStdDevFactor = -0.5
+			c.FixedTimeout = time.Second
+		}, true},
+		{"negative stddev factor adaptive", func(c *Config) {
+			c.TimeoutStdDevFactor = -0.5
+		}, true},
+		{"negative fixed timeout", func(c *Config) {
+			c.FixedTimeout = -time.Second
+		}, true},
+		{"SC skips timeout checks", func(c *Config) {
+			c.Scheme = SchemeSC
+			c.InitialTimeoutFactor = -1
+			c.TimeoutStdDevFactor = -1
+		}, false},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

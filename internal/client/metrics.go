@@ -81,6 +81,10 @@ type Collector struct {
 	// OnRecord, when set, receives every measured request as it completes
 	// — the per-request trace feed.
 	OnRecord func(at time.Duration, host network.NodeID, outcome Outcome, latency time.Duration)
+
+	// Audit, when set, receives the full protocol event feed (warm-up
+	// included) for online invariant checking; nil for ordinary runs.
+	Audit AuditSink
 }
 
 // NewCollector creates a collector for numHosts hosts charging energy to

@@ -45,10 +45,13 @@ type retrievePayload struct {
 
 // dataPayload carries the item from the holder to the requester.
 type dataPayload struct {
-	Key       floodKey
-	Item      workload.ItemID
-	Provider  network.NodeID
-	ExpiresAt time.Duration
+	Key      floodKey
+	Item     workload.ItemID
+	Provider network.NodeID
+	// RetrievedAt and ExpiresAt describe the provider copy's consistency
+	// contract; the staleness oracle checks served hits against them.
+	RetrievedAt time.Duration
+	ExpiresAt   time.Duration
 }
 
 // relayedPayload is the multi-hop envelope: the inner message is forwarded
@@ -65,12 +68,18 @@ func (h *Host) beginRequest(item workload.ItemID) {
 	h.observeActivity(now)
 	h.seq++
 	h.cur = &pendingRequest{seq: h.seq, item: item, start: now}
+	if a := h.audit(); a != nil {
+		a.RequestBegan(now, h.id, h.seq, item)
+	}
 
 	if e := h.cache.Get(item, now); e != nil {
 		if e.Valid(now) {
 			// Local cache hit; a donated copy earns permanent residence.
 			e.SingletTTL = h.cfg.ReplaceDelay
 			e.Donated = false
+			if a := h.audit(); a != nil {
+				a.HitServed(now, h.id, h.id, item, OutcomeLocalHit, e.RetrievedAt, e.RetrievedAt+e.TTL)
+			}
 			h.complete(OutcomeLocalHit)
 			return
 		}
@@ -318,10 +327,11 @@ func (h *Host) handleRetrieve(msg network.Message) {
 		From: h.id,
 		Size: network.HeaderSize + h.cfg.DataSize,
 		Payload: dataPayload{
-			Key:       payload.Key,
-			Item:      payload.Item,
-			Provider:  h.id,
-			ExpiresAt: e.RetrievedAt + e.TTL,
+			Key:         payload.Key,
+			Item:        payload.Item,
+			Provider:    h.id,
+			RetrievedAt: e.RetrievedAt,
+			ExpiresAt:   e.RetrievedAt + e.TTL,
 		},
 	})
 }
@@ -345,6 +355,9 @@ func (h *Host) handleData(msg network.Message) {
 		ttl = 0
 	}
 	h.collector.recordProvider(h.id, payload.Provider)
+	if a := h.audit(); a != nil {
+		a.HitServed(now, h.id, payload.Provider, payload.Item, OutcomeGlobalHit, payload.RetrievedAt, payload.ExpiresAt)
+	}
 	fromTCG := h.cfg.Scheme == SchemeGroCoca && h.tcg[payload.Provider]
 	h.admit(payload.Item, now, ttl, fromTCG)
 	if h.cfg.Scheme == SchemeGroCoca {
@@ -425,6 +438,7 @@ func (h *Host) goToServer(item workload.ItemID) {
 	}
 	now := h.k.Now()
 	if !h.inServiceArea(now) {
+		p.cause = "out-of-service-area"
 		h.complete(OutcomeFailure)
 		return
 	}
@@ -473,6 +487,7 @@ func (h *Host) armServerRescue(p *pendingRequest, want phase, resend func()) {
 		}
 		if p.serverAttempts >= h.cfg.ServerRetryLimit {
 			h.collector.rescueFailures++
+			p.cause = "rescue-exhausted"
 			h.complete(OutcomeFailure)
 			return
 		}
@@ -534,6 +549,7 @@ func (h *Host) validateWithServer(item workload.ItemID, retrievedAt time.Duratio
 	p := h.cur
 	now := h.k.Now()
 	if !h.inServiceArea(now) {
+		p.cause = "out-of-service-area"
 		h.complete(OutcomeFailure)
 		return
 	}
@@ -596,6 +612,12 @@ func (h *Host) handleValidateOK(msg network.Message) {
 		e.RetrievedAt = now
 		e.TTL = payload.TTL
 		e.SingletTTL = h.cfg.ReplaceDelay
+		if a := h.audit(); a != nil {
+			// The renewal is a fresh contract; the validated copy then
+			// serves the request as a local hit.
+			a.CopyAdmitted(now, h.id, payload.Item, payload.TTL)
+			a.HitServed(now, h.id, h.id, payload.Item, OutcomeLocalHit, now, now+payload.TTL)
+		}
 	}
 	h.complete(OutcomeLocalHit)
 }

@@ -179,4 +179,7 @@ func (h *Host) handleSpill(msg network.Message) {
 	}
 	h.sigInsert(payload.Item)
 	h.collector.spillsAccepted++
+	if a := h.audit(); a != nil {
+		a.CopyAdmitted(now, h.id, payload.Item, ttl)
+	}
 }

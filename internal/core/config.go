@@ -185,6 +185,14 @@ type Config struct {
 	CrashMTBF            time.Duration
 	CrashDownMin         time.Duration
 	CrashDownMax         time.Duration
+	// P2PBurst, UplinkBurst and DownlinkBurst layer a Gilbert–Elliott
+	// burst-loss chain on the respective channel; FaultRampUp linearly
+	// ramps the static loss probabilities in from zero over its duration
+	// (see network.FaultPlanConfig.RampUp).
+	P2PBurst      network.BurstFaults
+	UplinkBurst   network.BurstFaults
+	DownlinkBurst network.BurstFaults
+	FaultRampUp   time.Duration
 
 	// Protocol hardening against the faults above (active regardless of
 	// whether faults are injected; see client.Config for semantics).
@@ -370,14 +378,15 @@ func (c Config) Validate() error {
 // faultPlanConfig projects the fault-injection parameter subset.
 func (c Config) faultPlanConfig() network.FaultPlanConfig {
 	return network.FaultPlanConfig{
-		P2P:            network.ChannelFaults{LossProb: c.P2PLossProb, BitErrorRate: c.P2PBitErrorRate},
-		Uplink:         network.ChannelFaults{LossProb: c.UplinkLossProb},
-		Downlink:       network.ChannelFaults{LossProb: c.DownlinkLossProb},
+		P2P:            network.ChannelFaults{LossProb: c.P2PLossProb, BitErrorRate: c.P2PBitErrorRate, Burst: c.P2PBurst},
+		Uplink:         network.ChannelFaults{LossProb: c.UplinkLossProb, Burst: c.UplinkBurst},
+		Downlink:       network.ChannelFaults{LossProb: c.DownlinkLossProb, Burst: c.DownlinkBurst},
 		OutagePeriod:   c.ServerOutagePeriod,
 		OutageDuration: c.ServerOutageDuration,
 		CrashMTBF:      c.CrashMTBF,
 		CrashDownMin:   c.CrashDownMin,
 		CrashDownMax:   c.CrashDownMax,
+		RampUp:         c.FaultRampUp,
 	}
 }
 

@@ -26,6 +26,7 @@ type Simulation struct {
 	collector *client.Collector
 	hosts     []*client.Host
 	faults    *network.FaultPlan
+	disk      *push.Disk
 }
 
 // New assembles a simulation from the configuration.
@@ -125,6 +126,8 @@ func New(cfg Config) (*Simulation, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: broadcast disk: %w", err)
 		}
+		s.disk = disk
+		disk.SetFaultPlan(s.faults)
 		for _, h := range s.hosts {
 			h.SetBroadcastDisk(disk)
 		}
@@ -284,6 +287,9 @@ func (s *Simulation) InstallFaultPlan(p *network.FaultPlan) {
 	s.faults = p
 	s.medium.SetFaultPlan(p)
 	s.link.SetFaultPlan(p)
+	if s.disk != nil {
+		s.disk.SetFaultPlan(p)
+	}
 	for _, h := range s.hosts {
 		h.SetFaultPlan(p)
 	}
@@ -311,3 +317,13 @@ func (s *Simulation) MSS() *server.MSS { return s.mss }
 
 // Collector exposes the metrics collector.
 func (s *Simulation) Collector() *client.Collector { return s.collector }
+
+// Kernel exposes the simulation kernel, so auditors can schedule periodic
+// structural sweeps inside the run.
+func (s *Simulation) Kernel() *sim.Kernel { return s.kernel }
+
+// FaultPlan returns the installed fault plan, or nil for ideal channels.
+func (s *Simulation) FaultPlan() *network.FaultPlan { return s.faults }
+
+// Config returns the assembled configuration.
+func (s *Simulation) Config() Config { return s.cfg }

@@ -138,7 +138,7 @@ func (e Experiment) Run(opts Options) ([]Point, error) {
 			opts.Progress(line)
 		}
 	}
-	if err := runPool(len(cells), reps, opts.Workers, run, onCell); err != nil {
+	if err := Pool(len(cells), reps, opts.Workers, run, onCell); err != nil {
 		return nil, err
 	}
 	return points, nil
@@ -410,7 +410,7 @@ func RunAblations(opts Options) ([]Ablation, []core.Results, error) {
 			opts.Progress(line)
 		}
 	}
-	if err := runPool(len(abls), reps, opts.Workers, run, onCell); err != nil {
+	if err := Pool(len(abls), reps, opts.Workers, run, onCell); err != nil {
 		return nil, nil, err
 	}
 	return abls, results, nil

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 	"repro/internal/stats"
 )
 
@@ -35,15 +36,6 @@ type Spread struct {
 	TotalEnergyJ   float64
 }
 
-// splitmix64 is the SplitMix64 finalizer: a bijective avalanche mix, so
-// distinct tuples cannot collide by construction of the caller's chaining.
-func splitmix64(x uint64) uint64 {
-	x += 0x9E3779B97F4A7C15
-	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
-	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
-	return x ^ (x >> 31)
-}
-
 // deriveSeed returns the RNG seed for one replication of one sweep cell.
 // Replication 0 keeps the base seed, so single-replication sweeps remain
 // byte-identical with the historical sequential runner (and with every
@@ -55,27 +47,28 @@ func deriveSeed(base int64, expID string, valueIdx int, scheme core.Scheme, rep 
 	}
 	h := fnv.New64a()
 	_, _ = h.Write([]byte(expID))
-	x := splitmix64(uint64(base) ^ h.Sum64())
-	x = splitmix64(x ^ uint64(valueIdx))
-	x = splitmix64(x ^ uint64(scheme))
-	x = splitmix64(x ^ uint64(rep))
+	x := sim.SplitMix64(uint64(base) ^ h.Sum64())
+	x = sim.SplitMix64(x ^ uint64(valueIdx))
+	x = sim.SplitMix64(x ^ uint64(scheme))
+	x = sim.SplitMix64(x ^ uint64(rep))
 	return int64(x)
 }
 
 // cellResult carries one finished replication from a worker to the
 // collector.
-type cellResult struct {
+type cellResult[T any] struct {
 	cell, rep int
-	res       core.Results
+	res       T
 	err       error
 }
 
-// runPool executes cells×reps simulations across workers goroutines and
-// invokes onCell exactly once per error-free cell, in canonical cell order,
-// on the calling goroutine — so Options.Progress callbacks are serialized
-// and ordered no matter how replications complete. The first error in
-// (cell, rep) order is returned after all workers drain.
-func runPool(cells, reps, workers int, run func(cell, rep int) (core.Results, error), onCell func(cell int, rs []core.Results)) error {
+// Pool executes cells×reps jobs across workers goroutines and invokes
+// onCell exactly once per error-free cell, in canonical cell order, on the
+// calling goroutine — so progress callbacks are serialized and ordered no
+// matter how jobs complete. The first error in (cell, rep) order is
+// returned after all workers drain. The sweep engine instantiates it with
+// core.Results; the chaos campaign runner with its audited cell results.
+func Pool[T any](cells, reps, workers int, run func(cell, rep int) (T, error), onCell func(cell int, rs []T)) error {
 	if cells == 0 {
 		return nil
 	}
@@ -91,7 +84,7 @@ func runPool(cells, reps, workers int, run func(cell, rep int) (core.Results, er
 	}
 
 	jobs := make(chan [2]int)
-	results := make(chan cellResult, workers)
+	results := make(chan cellResult[T], workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -99,7 +92,7 @@ func runPool(cells, reps, workers int, run func(cell, rep int) (core.Results, er
 			defer wg.Done()
 			for j := range jobs {
 				r, err := run(j[0], j[1])
-				results <- cellResult{cell: j[0], rep: j[1], res: r, err: err}
+				results <- cellResult[T]{cell: j[0], rep: j[1], res: r, err: err}
 			}
 		}()
 	}
@@ -115,11 +108,11 @@ func runPool(cells, reps, workers int, run func(cell, rep int) (core.Results, er
 	// The calling goroutine is the single collector: per-cell buffers fill
 	// in completion order, but onCell fires through a reorder window so
 	// cell k is only delivered once cells 0..k-1 have been.
-	perCell := make([][]core.Results, cells)
+	perCell := make([][]T, cells)
 	remaining := make([]int, cells)
 	errs := make([]error, total)
 	for i := range perCell {
-		perCell[i] = make([]core.Results, reps)
+		perCell[i] = make([]T, reps)
 		remaining[i] = reps
 	}
 	next := 0
@@ -301,7 +294,7 @@ func Replicate(cfg core.Config, reps, workers int) ([]core.Results, Point, error
 		copy(all, rs)
 		point = aggregate(0, cfg.Scheme, rs)
 	}
-	if err := runPool(1, reps, workers, run, onCell); err != nil {
+	if err := Pool(1, reps, workers, run, onCell); err != nil {
 		return nil, Point{}, err
 	}
 	return all, point, nil

@@ -8,16 +8,68 @@ import (
 	"repro/internal/sim"
 )
 
+// BurstFaults parameterises the Gilbert–Elliott two-state burst-loss mode
+// of one channel: a hidden good/bad Markov chain advanced once per message
+// draw, with a per-state loss probability. The mode is enabled by a
+// positive GoodToBad transition probability; the zero value contributes
+// nothing and consumes no randomness.
+type BurstFaults struct {
+	// GoodToBad is the per-message probability of entering the bad
+	// (bursty) state; zero disables the burst mode entirely.
+	GoodToBad float64
+	// BadToGood is the per-message probability of leaving the bad state;
+	// its reciprocal is the mean burst length in messages.
+	BadToGood float64
+	// GoodLoss and BadLoss are the per-message loss probabilities while
+	// the chain is in the respective state.
+	GoodLoss float64
+	// BadLoss is the loss probability inside a burst; values near 1 model
+	// deep fades that destroy nearly every frame.
+	BadLoss float64
+}
+
+// Enabled reports whether the burst chain can ever leave the good state —
+// the gate for both the state advance and its randomness consumption.
+func (b BurstFaults) Enabled() bool { return b.GoodToBad > 0 }
+
+// zero reports whether the burst mode contributes no loss at all.
+func (b BurstFaults) zero() bool { return !b.Enabled() && b.GoodLoss <= 0 }
+
+// validate bounds the burst parameters.
+func (b BurstFaults) validate(name string) error {
+	for _, p := range []struct {
+		label string
+		v     float64
+	}{
+		{"good→bad transition", b.GoodToBad},
+		{"bad→good transition", b.BadToGood},
+		{"good-state loss", b.GoodLoss},
+		{"bad-state loss", b.BadLoss},
+	} {
+		if p.v < 0 || p.v > 1 {
+			return fmt.Errorf("network: %s burst %s probability %v outside [0, 1]", name, p.label, p.v)
+		}
+	}
+	if b.Enabled() && b.BadToGood <= 0 && b.BadLoss >= 1 {
+		return fmt.Errorf("network: %s burst mode has an absorbing bad state with total loss; give BadToGood a positive probability", name)
+	}
+	return nil
+}
+
 // ChannelFaults parameterises the random loss model of one channel: an
 // i.i.d. per-message loss probability composed with a size-dependent
 // bit-error drop (a message of n bytes survives the bit errors with
-// probability (1-BER)^(8n)).
+// probability (1-BER)^(8n)) and, optionally, a Gilbert–Elliott burst-loss
+// chain layered on top.
 type ChannelFaults struct {
 	// LossProb is the size-independent per-message loss probability.
 	LossProb float64
 	// BitErrorRate is the per-bit corruption probability; a single
 	// corrupted bit destroys the whole frame.
 	BitErrorRate float64
+	// Burst is the optional Gilbert–Elliott burst-loss mode; the zero
+	// value keeps the plain i.i.d. model.
+	Burst BurstFaults
 }
 
 // DropProb returns the overall drop probability for a message of the
@@ -38,7 +90,9 @@ func (c ChannelFaults) DropProb(size int) float64 {
 }
 
 // zero reports whether the channel never drops.
-func (c ChannelFaults) zero() bool { return c.LossProb <= 0 && c.BitErrorRate <= 0 }
+func (c ChannelFaults) zero() bool {
+	return c.LossProb <= 0 && c.BitErrorRate <= 0 && c.Burst.zero()
+}
 
 // validate bounds the channel parameters.
 func (c ChannelFaults) validate(name string) error {
@@ -48,7 +102,7 @@ func (c ChannelFaults) validate(name string) error {
 	if c.BitErrorRate < 0 || c.BitErrorRate > 1 {
 		return fmt.Errorf("network: %s bit error rate %v outside [0, 1]", name, c.BitErrorRate)
 	}
-	return nil
+	return c.Burst.validate(name)
 }
 
 // FaultPlanConfig composes the per-channel fault models of one run: random
@@ -78,6 +132,13 @@ type FaultPlanConfig struct {
 	CrashMTBF    time.Duration
 	CrashDownMin time.Duration
 	CrashDownMax time.Duration
+
+	// RampUp linearly scales the static per-channel loss probabilities
+	// from 0 at t=0 to their configured value at t=RampUp, so a run warms
+	// up under a healthy network before degrading. Zero applies full loss
+	// immediately. Burst-state loss is not ramped — the chain itself
+	// already models onset.
+	RampUp time.Duration
 }
 
 // Zero reports whether the plan injects no faults at all.
@@ -119,7 +180,49 @@ func (c FaultPlanConfig) Validate() error {
 			return fmt.Errorf("network: crash downtime range [%v, %v] invalid", c.CrashDownMin, c.CrashDownMax)
 		}
 	}
+	if c.RampUp < 0 {
+		return fmt.Errorf("network: negative loss ramp-up %v", c.RampUp)
+	}
 	return nil
+}
+
+// channelState couples one channel's loss model with its private RNG
+// stream and, when the Gilbert–Elliott mode is enabled, the current
+// Markov state of the burst chain.
+type channelState struct {
+	cfg ChannelFaults
+	rng *sim.RNG
+	bad bool
+}
+
+// drop draws whether a message of the given size is destroyed at the
+// given simulation time. The static loss probability is scaled by the
+// plan's ramp factor; the burst chain, when enabled, is advanced one step
+// and its per-state loss composed on top. A channel whose model is zero
+// never consumes randomness (sim.RNG.Bool skips the draw at p ≤ 0), and a
+// disabled burst mode consumes none either — so zero-fault runs stay
+// byte-identical to runs without a plan installed.
+func (c *channelState) drop(size int, now, rampUp time.Duration) bool {
+	p := c.cfg.DropProb(size)
+	if rampUp > 0 && now < rampUp {
+		p *= float64(now) / float64(rampUp)
+	}
+	if c.cfg.Burst.Enabled() {
+		b := c.cfg.Burst
+		if c.bad {
+			if c.rng.Bool(b.BadToGood) {
+				c.bad = false
+			}
+		} else if c.rng.Bool(b.GoodToBad) {
+			c.bad = true
+		}
+		q := b.GoodLoss
+		if c.bad {
+			q = b.BadLoss
+		}
+		p = 1 - (1-p)*(1-q)
+	}
+	return c.rng.Bool(p)
 }
 
 // FaultPlan is a seeded, deterministic source of injected faults. Each
@@ -130,9 +233,9 @@ func (c FaultPlanConfig) Validate() error {
 // byte-identical to a run with no plan installed.
 type FaultPlan struct {
 	cfg     FaultPlanConfig
-	rngP2P  *sim.RNG
-	rngUp   *sim.RNG
-	rngDown *sim.RNG
+	p2p     channelState
+	up      channelState
+	down    channelState
 	crashes *sim.RNG
 	perHost map[NodeID]*sim.RNG
 }
@@ -145,9 +248,9 @@ func NewFaultPlan(cfg FaultPlanConfig, rng *sim.RNG) (*FaultPlan, error) {
 	}
 	return &FaultPlan{
 		cfg:     cfg,
-		rngP2P:  rng.Stream("p2p"),
-		rngUp:   rng.Stream("uplink"),
-		rngDown: rng.Stream("downlink"),
+		p2p:     channelState{cfg: cfg.P2P, rng: rng.Stream("p2p")},
+		up:      channelState{cfg: cfg.Uplink, rng: rng.Stream("uplink")},
+		down:    channelState{cfg: cfg.Downlink, rng: rng.Stream("downlink")},
 		crashes: rng.Stream("crash"),
 		perHost: make(map[NodeID]*sim.RNG),
 	}, nil
@@ -159,21 +262,24 @@ func (p *FaultPlan) Config() FaultPlanConfig { return p.cfg }
 // Zero reports whether the plan injects no faults.
 func (p *FaultPlan) Zero() bool { return p.cfg.Zero() }
 
-// DropP2P draws whether a P2P frame of the given size is destroyed.
-func (p *FaultPlan) DropP2P(size int) bool {
-	return p.rngP2P.Bool(p.cfg.P2P.DropProb(size))
+// DropP2P draws whether a P2P frame of the given size is destroyed at the
+// given simulation time.
+func (p *FaultPlan) DropP2P(size int, now time.Duration) bool {
+	return p.p2p.drop(size, now, p.cfg.RampUp)
 }
 
 // DropUplink draws whether an uplink message of the given size is
-// destroyed by random loss (outages are checked separately via InOutage).
-func (p *FaultPlan) DropUplink(size int) bool {
-	return p.rngUp.Bool(p.cfg.Uplink.DropProb(size))
+// destroyed by random loss at the given simulation time (outages are
+// checked separately via InOutage).
+func (p *FaultPlan) DropUplink(size int, now time.Duration) bool {
+	return p.up.drop(size, now, p.cfg.RampUp)
 }
 
 // DropDownlink draws whether a downlink message of the given size is
-// destroyed by random loss (outages are checked separately via InOutage).
-func (p *FaultPlan) DropDownlink(size int) bool {
-	return p.rngDown.Bool(p.cfg.Downlink.DropProb(size))
+// destroyed by random loss at the given simulation time (outages are
+// checked separately via InOutage).
+func (p *FaultPlan) DropDownlink(size int, now time.Duration) bool {
+	return p.down.drop(size, now, p.cfg.RampUp)
 }
 
 // InOutage reports whether the infrastructure channel is inside a

@@ -38,6 +38,13 @@ func TestFaultPlanConfigValidate(t *testing.T) {
 		{OutagePeriod: time.Second, OutageDuration: 2 * time.Second}, // duration >= period
 		{CrashMTBF: time.Minute},                                     // no downtime range
 		{CrashMTBF: time.Minute, CrashDownMin: 2 * time.Second, CrashDownMax: time.Second},
+		{RampUp: -time.Second},
+		{P2P: ChannelFaults{Burst: BurstFaults{GoodToBad: -0.1}}},
+		{P2P: ChannelFaults{Burst: BurstFaults{GoodToBad: 0.1, BadToGood: 1.5}}},
+		{Uplink: ChannelFaults{Burst: BurstFaults{GoodToBad: 0.1, BadToGood: 0.2, BadLoss: 2}}},
+		{Downlink: ChannelFaults{Burst: BurstFaults{GoodToBad: 0.1, BadToGood: 0.2, GoodLoss: -1}}},
+		// Absorbing bad state with total loss: every message dies forever.
+		{P2P: ChannelFaults{Burst: BurstFaults{GoodToBad: 0.1, BadLoss: 1}}},
 	}
 	for i, cfg := range bad {
 		if err := cfg.Validate(); err == nil {
@@ -62,6 +69,128 @@ func TestFaultPlanConfigValidate(t *testing.T) {
 	if !(FaultPlanConfig{}).Zero() {
 		t.Error("empty config not Zero")
 	}
+	burst := FaultPlanConfig{P2P: ChannelFaults{Burst: BurstFaults{
+		GoodToBad: 0.05, BadToGood: 0.2, BadLoss: 0.8,
+	}}}
+	if err := burst.Validate(); err != nil {
+		t.Errorf("valid burst config rejected: %v", err)
+	}
+	if burst.Zero() {
+		t.Error("burst-only config reported Zero")
+	}
+	// A ramp alone injects nothing: there is no loss to scale.
+	if !(FaultPlanConfig{RampUp: time.Minute}).Zero() {
+		t.Error("ramp-only config not Zero")
+	}
+}
+
+func TestBurstZeroValueFastPath(t *testing.T) {
+	// The zero BurstFaults value must keep the channel's zero() fast path:
+	// no randomness consumed, byte-identical draws with a burst-free plan.
+	if !(BurstFaults{}).zero() || (BurstFaults{GoodToBad: 0.1}).zero() || (BurstFaults{GoodLoss: 0.1}).zero() {
+		t.Fatal("BurstFaults.zero misclassifies")
+	}
+	if !(ChannelFaults{}).zero() {
+		t.Fatal("channel with zero burst not zero")
+	}
+	if (ChannelFaults{Burst: BurstFaults{GoodLoss: 0.1}}).zero() {
+		t.Fatal("channel with good-state loss reported zero")
+	}
+	cfg := FaultPlanConfig{P2P: ChannelFaults{LossProb: 0.3}}
+	plain, err := NewFaultPlan(cfg, sim.NewRNG(11).Stream("fault"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.P2P.Burst = BurstFaults{} // explicit zero burst: same draw sequence
+	zeroed, err := NewFaultPlan(cfg, sim.NewRNG(11).Stream("fault"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if plain.DropP2P(100, 0) != zeroed.DropP2P(100, 0) {
+			t.Fatalf("draw %d diverged with zero-value burst config", i)
+		}
+	}
+}
+
+func TestBurstLossIsBursty(t *testing.T) {
+	// With a near-lossless good state and a lethal bad state, drops must
+	// cluster: overall loss sits between GoodLoss and BadLoss, and the
+	// conditional drop rate after a drop far exceeds the marginal rate.
+	cfg := FaultPlanConfig{P2P: ChannelFaults{Burst: BurstFaults{
+		GoodToBad: 0.02, BadToGood: 0.2, GoodLoss: 0, BadLoss: 0.9,
+	}}}
+	p, err := NewFaultPlan(cfg, sim.NewRNG(5).Stream("fault"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20000
+	drops, pairs, dropPairs := 0, 0, 0
+	prev := false
+	for i := 0; i < n; i++ {
+		d := p.DropP2P(100, 0)
+		if d {
+			drops++
+		}
+		if i > 0 {
+			pairs++
+			if prev && d {
+				dropPairs++
+			}
+		}
+		prev = d
+	}
+	marginal := float64(drops) / n
+	// Stationary bad-state probability is 0.02/(0.02+0.2) ≈ 0.0909, so the
+	// marginal loss is ≈ 0.082.
+	if marginal < 0.04 || marginal > 0.15 {
+		t.Errorf("marginal burst loss %v implausible", marginal)
+	}
+	condAfterDrop := float64(dropPairs) / float64(drops)
+	if condAfterDrop < 2*marginal {
+		t.Errorf("loss not bursty: P(drop|drop)=%v vs marginal %v", condAfterDrop, marginal)
+	}
+	// Determinism: an identically seeded plan replays the same sequence.
+	q, _ := NewFaultPlan(cfg, sim.NewRNG(5).Stream("fault"))
+	r, _ := NewFaultPlan(cfg, sim.NewRNG(5).Stream("fault"))
+	for i := 0; i < 2000; i++ {
+		if q.DropP2P(100, 0) != r.DropP2P(100, 0) {
+			t.Fatalf("burst draw %d diverged between same-seed plans", i)
+		}
+	}
+}
+
+func TestLossRampScalesStaticLoss(t *testing.T) {
+	cfg := FaultPlanConfig{
+		P2P:    ChannelFaults{LossProb: 1},
+		RampUp: 100 * time.Second,
+	}
+	p, err := NewFaultPlan(cfg, sim.NewRNG(9).Stream("fault"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t=0 the ramp factor is 0: certain loss becomes certain delivery,
+	// and sim.RNG.Bool(0) consumes no draw.
+	for i := 0; i < 50; i++ {
+		if p.DropP2P(100, 0) {
+			t.Fatal("ramped loss dropped at t=0")
+		}
+	}
+	// At and beyond RampUp the full probability applies.
+	if !p.DropP2P(100, 100*time.Second) || !p.DropP2P(100, time.Hour) {
+		t.Fatal("full loss not applied at/after ramp end")
+	}
+	// Midway the empirical rate tracks the scaled probability.
+	drops := 0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if p.DropP2P(100, 50*time.Second) {
+			drops++
+		}
+	}
+	if rate := float64(drops) / n; rate < 0.4 || rate > 0.6 {
+		t.Errorf("mid-ramp drop rate %v, want ≈0.5", rate)
+	}
 }
 
 func TestFaultPlanDeterminism(t *testing.T) {
@@ -75,7 +204,7 @@ func TestFaultPlanDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 1000; i++ {
-		if a.DropP2P(100) != b.DropP2P(100) {
+		if a.DropP2P(100, 0) != b.DropP2P(100, 0) {
 			t.Fatalf("draw %d diverged between same-seed plans", i)
 		}
 	}
@@ -90,7 +219,7 @@ func TestZeroPlanNeverDrops(t *testing.T) {
 		t.Error("zero plan not Zero")
 	}
 	for i := 0; i < 100; i++ {
-		if p.DropP2P(4096) || p.DropUplink(40) || p.DropDownlink(4096) {
+		if p.DropP2P(4096, 0) || p.DropUplink(40, 0) || p.DropDownlink(4096, 0) {
 			t.Fatal("zero plan dropped a message")
 		}
 	}

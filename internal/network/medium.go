@@ -173,7 +173,7 @@ func (m *Medium) Broadcast(msg Message) {
 			// whether or not the fault plan corrupts it. Per-receiver
 			// draws run in registration order, keeping replays exact.
 			m.meter.Charge(oid, EnergyBroadcastRecv, m.power.BRecv.Energy(msg.Size))
-			if m.faults != nil && m.faults.DropP2P(msg.Size) {
+			if m.faults != nil && m.faults.DropP2P(msg.Size, now) {
 				m.drops.Fault++
 				continue
 			}
@@ -213,7 +213,7 @@ func (m *Medium) Send(msg Message) {
 			// The destination receives (and pays for) the frame even
 			// when the fault plan corrupts it in transit.
 			m.meter.Charge(msg.To, EnergyP2PRecv, m.power.Recv.Energy(msg.Size))
-			if m.faults != nil && m.faults.DropP2P(msg.Size) {
+			if m.faults != nil && m.faults.DropP2P(msg.Size, now) {
 				faulted = true
 				m.drops.Fault++
 			}

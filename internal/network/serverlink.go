@@ -99,7 +99,7 @@ func (l *ServerLink) SendUp(msg Message) {
 				l.drops.UplinkOutage++
 				return
 			}
-			if l.faults.DropUplink(msg.Size) {
+			if l.faults.DropUplink(msg.Size, l.k.Now()) {
 				l.drops.UplinkFault++
 				return
 			}
@@ -122,7 +122,7 @@ func (l *ServerLink) SendDown(msg Message) {
 				l.drops.DownlinkOutage++
 				return
 			}
-			if l.faults.DropDownlink(msg.Size) {
+			if l.faults.DropDownlink(msg.Size, l.k.Now()) {
 				l.drops.DownlinkFault++
 				return
 			}

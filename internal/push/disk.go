@@ -85,10 +85,12 @@ type Disk struct {
 	slotTime time.Duration
 	waiters  map[workload.ItemID][]waiter
 	running  bool
+	faults   *network.FaultPlan
 
-	broadcasts uint64
-	deliveries uint64
-	drops      uint64
+	broadcasts  uint64
+	deliveries  uint64
+	drops       uint64
+	outageSlots uint64
 }
 
 // NewDisk creates a stopped disk over the catalog.
@@ -156,6 +158,16 @@ func (d *Disk) Stats() (broadcasts, deliveries, drops uint64) {
 	return d.broadcasts, d.deliveries, d.drops
 }
 
+// SetFaultPlan couples the disk to the infrastructure fault schedule: a
+// slot whose broadcast completes inside an MSS outage window delivers
+// nothing (waiters stay tuned and catch a later cycle). A nil plan keeps
+// ideal delivery.
+func (d *Disk) SetFaultPlan(p *network.FaultPlan) { d.faults = p }
+
+// OutageSlots reports how many broadcast slots were destroyed by
+// scheduled MSS outages.
+func (d *Disk) OutageSlots() uint64 { return d.outageSlots }
+
 // Tune registers a client waiting for an item. The item must currently be
 // on the disk (check Contains first); tuning for an off-disk item invokes
 // dropped immediately.
@@ -182,6 +194,14 @@ func (d *Disk) tick() {
 	item := d.items[d.slot]
 	d.slot = (d.slot + 1) % len(d.items)
 	d.broadcasts++
+	if d.faults != nil && d.faults.InOutage(d.k.Now()) {
+		// The MSS is down: the slot goes out dead. Waiters keep listening
+		// (and keep paying listen power) until an intact cycle repeats the
+		// item.
+		d.outageSlots++
+		d.k.Schedule(d.slotTime, d.tick)
+		return
+	}
 	if ws := d.waiters[item]; len(ws) > 0 {
 		delete(d.waiters, item)
 		now := d.k.Now()

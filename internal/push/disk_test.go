@@ -255,6 +255,52 @@ func TestReshuffleKeepsWaitersOfSurvivingItems(t *testing.T) {
 	}
 }
 
+func TestOutageSlotsDoNotDeliver(t *testing.T) {
+	// An MSS outage window covering several broadcast cycles: slots inside
+	// the window must not deliver, and the waiter is served by the first
+	// intact slot after it ends.
+	k, d, _, _ := testDisk(t, defaultDiskConfig(), 100)
+	plan, err := network.NewFaultPlan(network.FaultPlanConfig{
+		OutagePeriod:   100 * time.Millisecond,
+		OutageDuration: 60 * time.Millisecond,
+	}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetFaultPlan(plan)
+	d.Start()
+	var deliveredAt time.Duration
+	delivered := false
+	// Tune just before the outage window [100ms, 160ms) for an item whose
+	// slot will only come up inside it (cycle ≈ 33 ms covers all 10 items,
+	// so every item recurs during the 60 ms outage).
+	k.Schedule(99*time.Millisecond, func() {
+		d.Tune(1, workload.ItemID(3), func(time.Duration, time.Duration) {
+			delivered = true
+			deliveredAt = k.Now()
+		}, nil)
+	})
+	if err := k.Run(300 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !delivered {
+		t.Fatal("waiter never served after outage")
+	}
+	if deliveredAt < 160*time.Millisecond {
+		t.Errorf("delivered at %v, inside outage window [100ms, 160ms)", deliveredAt)
+	}
+	if d.OutageSlots() == 0 {
+		t.Error("no outage slots recorded across the window")
+	}
+	broadcasts, deliveries, _ := d.Stats()
+	if deliveries != 1 {
+		t.Errorf("deliveries = %d, want 1", deliveries)
+	}
+	if d.OutageSlots() >= broadcasts {
+		t.Errorf("outage slots %d not a strict subset of %d broadcasts", d.OutageSlots(), broadcasts)
+	}
+}
+
 func TestDiskSlotAdvancesThroughWholeCycle(t *testing.T) {
 	k, d, _, _ := testDisk(t, defaultDiskConfig(), 100) // items 0..9
 	d.Start()

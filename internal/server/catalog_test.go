@@ -150,6 +150,57 @@ func TestCatalogReviseStaleGrowsInterval(t *testing.T) {
 	}
 }
 
+func TestReviseStaleRepeatedSilenceGrowsInterval(t *testing.T) {
+	// A long silence revised repeatedly must keep growing the interval
+	// EWMA monotonically — each revision observes an ever-longer silence —
+	// without ever advancing t_l (the item was not actually updated).
+	k := sim.NewKernel()
+	c, err := NewCatalog(k, 3, 4096, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Schedule(10*time.Second, func() { c.Update(1) })
+	k.Schedule(12*time.Second, func() { c.Update(1) }) // u = 2s, t_l = 12s
+	// Revise every 30s across a 3-minute silence, sampling the TTL a fixed
+	// 1s after a hypothetical cache fill at each revision point. The
+	// growing interval shows up as a growing TTL budget for a copy fetched
+	// right after the revision: TTL(t) = max(u - (t - t_l), 0) with u
+	// rising toward the observed silence.
+	var ttls []time.Duration
+	for i := 1; i <= 6; i++ {
+		at := time.Duration(i) * 30 * time.Second
+		k.Schedule(at, func() {
+			c.ReviseStale()
+			// u after this revision, minus the elapsed silence, is what a
+			// fresh validation would grant. Track u indirectly: TTL + elapsed.
+			ttls = append(ttls, c.TTL(1)+(k.Now()-12*time.Second))
+		})
+	}
+	k.Schedule(200*time.Second, func() {
+		if c.UpdatedSince(1, 12*time.Second) {
+			t.Error("revision advanced lastUpdate: UpdatedSince(t_l) = true")
+		}
+	})
+	if err := k.Run(5 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if len(ttls) != 6 {
+		t.Fatalf("collected %d samples, want 6", len(ttls))
+	}
+	for i := 1; i < len(ttls); i++ {
+		if ttls[i] <= ttls[i-1] {
+			t.Errorf("effective interval did not grow: sample %d = %v, sample %d = %v",
+				i-1, ttls[i-1], i, ttls[i])
+		}
+	}
+	// With EWMA weight 0.5 the interval converges toward the silence
+	// length: after six 30s-spaced revisions of an ≈3-minute silence the
+	// effective interval far exceeds the raw 2s update interval.
+	if last := ttls[len(ttls)-1]; last < 30*time.Second {
+		t.Errorf("effective interval after revisions = %v, want ≫ 2s raw interval", last)
+	}
+}
+
 func TestUpdaterRate(t *testing.T) {
 	k := sim.NewKernel()
 	c, err := NewCatalog(k, 1000, 4096, 0.5)

@@ -1,0 +1,14 @@
+package sim
+
+// SplitMix64 is the SplitMix64 finalizer: a bijective avalanche mix used to
+// derive independent seeds from tuples by chaining — distinct chains cannot
+// collide by construction of the caller's XOR-then-mix sequence. The sweep
+// engine derives per-replication seeds with it, and the chaos campaign
+// generator draws adversarial fault parameters from the same chain, so a
+// one-line repro command pins the entire scenario.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
