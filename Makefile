@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 vet build lint test race short bench race-runner sweep-smoke chaos-smoke
+.PHONY: tier1 vet build lint test race short bench race-runner sweep-smoke chaos-smoke bench-baseline resume-smoke
 
 ## tier1: the gate every change must pass — vet, build, the determinism
 ## lint suite, tests with the race detector.
@@ -58,3 +58,28 @@ chaos-smoke:
 		echo "chaos-smoke FAILED: the seeded self-test bug went undetected" >&2; exit 1; \
 	fi
 	@echo "chaos-smoke ok: campaigns clean, output worker-count-identical, self-test bug caught"
+
+## bench-baseline: regenerate BENCH_seed.json, the committed hot-path
+## baseline — kernel dispatch, medium transmission, bloom-filter ops — as
+## ops/sec and allocs/op, so PRs can review performance drift against it.
+bench-baseline:
+	$(GO) test -run '^$$' -bench 'KernelScheduleRun|MediumTransmit|FilterAdd|FilterTest|PeerVectorCovers' -benchmem ./internal/sim/ ./internal/network/ ./internal/bloom/ | $(GO) run ./cmd/grococa-benchjson > BENCH_seed.json
+	@echo "bench-baseline: wrote BENCH_seed.json"
+
+## resume-smoke: crash-resume proven end to end with real SIGKILLs.
+## Leg 1: a sweep is run to a golden CSV, rerun with journaling and
+## SIGKILLed mid-flight, then resumed — the resumed CSV must be
+## byte-identical to the golden. Leg 2: the chaos harness-kill self-test
+## (SIGKILL a child mid-campaign-matrix, resume, byte-compare the report
+## against a never-killed run). Artifacts stay in .resume-smoke on failure.
+resume-smoke:
+	rm -rf .resume-smoke && mkdir -p .resume-smoke
+	$(GO) build -o .resume-smoke/grococa-bench ./cmd/grococa-bench
+	.resume-smoke/grococa-bench -exp clients -tiny -reps 4 -q -csv > .resume-smoke/golden.csv
+	-timeout -s KILL 2 .resume-smoke/grococa-bench -exp clients -tiny -reps 4 -q -csv -resume .resume-smoke/journal > /dev/null 2>&1
+	test -s .resume-smoke/journal/journal.gckj
+	.resume-smoke/grococa-bench -exp clients -tiny -reps 4 -q -csv -resume .resume-smoke/journal > .resume-smoke/resumed.csv
+	cmp .resume-smoke/golden.csv .resume-smoke/resumed.csv
+	$(GO) run ./cmd/grococa-chaos -selftest-kill -killdir .resume-smoke/chaos-kill -campaign outage-storm -scheme grococa -seeds 3 -parallel 1
+	rm -rf .resume-smoke
+	@echo "resume-smoke ok: SIGKILLed sweep and campaign matrix resumed byte-identical"

@@ -19,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -46,6 +47,7 @@ func run(args []string) error {
 	tiny := fs.Bool("tiny", false, "shrink the scenario for smoke runs (8 clients, 400 items)")
 	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
 	csv := fs.Bool("csv", false, "emit CSV rows instead of aligned tables")
+	resume := fs.String("resume", "", "journal completed cells in this directory and resume an interrupted run from it (output stays byte-identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +85,19 @@ func run(args []string) error {
 	}
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	if *resume != "" {
+		// The meta record binds the journal to every flag that shapes the
+		// result set, so a resume with different parameters is refused
+		// instead of silently mixing runs.
+		meta := fmt.Sprintf("grococa-bench exp=%s seed=%d warmup=%d requests=%d reps=%d tiny=%v",
+			*exp, *seed, *warmup, *requests, *reps, *tiny)
+		jr, err := checkpoint.OpenJournal(*resume, []byte(meta))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = jr.Close() }()
+		opts.Journal = jr
 	}
 
 	runOne := func(e experiments.Experiment) error {

@@ -102,3 +102,48 @@ func TestRunWithFrozenClock(t *testing.T) {
 		t.Errorf("frozen clock did not zero the wall-time line:\n%s", out)
 	}
 }
+
+// captureStdout runs fn with os.Stdout redirected and returns what it
+// printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	runErr := fn()
+	os.Stdout = old
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return string(out)
+}
+
+// TestRunResume drives -resume end to end: a journaled run, a second run
+// against the completed journal (all cells replayed from disk), and a
+// meta-mismatch rejection when the flags change.
+func TestRunResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep in -short mode")
+	}
+	dir := t.TempDir()
+	args := []string{"-exp", "skew", "-tiny", "-warmup", "2", "-requests", "4", "-reps", "2", "-q", "-resume", dir}
+	first := captureStdout(t, func() error { return run(args) })
+	second := captureStdout(t, func() error { return run(args) })
+	if first != second {
+		t.Errorf("resumed output differs from original:\n%s\nvs\n%s", first, second)
+	}
+	bad := []string{"-exp", "skew", "-tiny", "-warmup", "2", "-requests", "5", "-reps", "2", "-q", "-resume", dir}
+	if err := run(bad); err == nil || !strings.Contains(err.Error(), "meta mismatch") {
+		t.Errorf("changed flags against the same journal not refused: %v", err)
+	}
+}

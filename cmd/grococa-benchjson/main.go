@@ -1,0 +1,130 @@
+// Command grococa-benchjson converts `go test -bench -benchmem` output on
+// stdin into canonical JSON on stdout: benchmarks sorted by qualified name,
+// with the derived ops/sec rate alongside ns/op, B/op and allocs/op. The
+// output carries no timestamps or machine identifiers, so a committed
+// baseline (BENCH_seed.json, see `make bench-baseline`) diffs cleanly
+// against a regenerated one.
+//
+// Example:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/sim/ | grococa-benchjson
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the package-qualified benchmark name; Procs the GOMAXPROCS
+	// suffix of the raw line.
+	Name  string `json:"name"`
+	Procs int    `json:"procs"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp and OpsPerSec are the time per operation and its reciprocal
+	// rate (events/sec for the kernel-dispatch and medium benchmarks).
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// BytesPerOp and AllocsPerOp are the -benchmem columns (zero when the
+	// input was produced without -benchmem).
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Baseline is the output document.
+type Baseline struct {
+	Format     int         `json:"format"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "grococa-benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out io.Writer) error {
+	benches, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (want `go test -bench` output)")
+	}
+	sort.Slice(benches, func(i, j int) bool { return benches[i].Name < benches[j].Name })
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Baseline{Format: 1, Benchmarks: benches})
+}
+
+// parse walks the benchmark output, tracking `pkg:` headers to qualify
+// names and decoding each Benchmark line's value/unit pairs.
+func parse(in io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	pkg := ""
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if fields[0] == "pkg:" && len(fields) > 1 {
+			pkg = fields[1]
+			continue
+		}
+		if !strings.HasPrefix(fields[0], "Benchmark") || len(fields) < 2 {
+			continue
+		}
+		b, err := parseLine(pkg, fields)
+		if err != nil {
+			return nil, fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		out = append(out, b)
+	}
+	return out, sc.Err()
+}
+
+// parseLine decodes one `BenchmarkName-P  N  v unit  v unit ...` line.
+func parseLine(pkg string, fields []string) (Benchmark, error) {
+	name, procs := fields[0], 1
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	if pkg != "" {
+		name = pkg + "." + name
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iterations: %w", err)
+	}
+	b := Benchmark{Name: name, Procs: procs, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("value %q: %w", fields[i], err)
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+			if v > 0 {
+				b.OpsPerSec = 1e9 / v
+			}
+		case "B/op":
+			b.BytesPerOp = int64(v)
+		case "allocs/op":
+			b.AllocsPerOp = int64(v)
+		}
+	}
+	return b, nil
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+cpu: Intel(R) Xeon(R) Processor
+BenchmarkKernelScheduleRun-8   	 5000000	       250.0 ns/op	      48 B/op	       2 allocs/op
+BenchmarkRNGExp-8              	20000000	        60.5 ns/op
+PASS
+ok  	repro/internal/sim	2.5s
+pkg: repro/internal/bloom
+BenchmarkFilterAdd-8           	10000000	       100.0 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/bloom	1.1s
+`
+
+func TestRunParsesAndSorts(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sampleBench), &out); err != nil {
+		t.Fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(out.Bytes(), &base); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if base.Format != 1 || len(base.Benchmarks) != 3 {
+		t.Fatalf("format %d, %d benchmarks, want 1, 3", base.Format, len(base.Benchmarks))
+	}
+	// Sorted by qualified name: bloom before sim.
+	first := base.Benchmarks[0]
+	if first.Name != "repro/internal/bloom.BenchmarkFilterAdd" {
+		t.Errorf("first benchmark %q, want the bloom one", first.Name)
+	}
+	kernel := base.Benchmarks[1]
+	if kernel.Name != "repro/internal/sim.BenchmarkKernelScheduleRun" ||
+		kernel.Procs != 8 || kernel.Iterations != 5000000 ||
+		kernel.NsPerOp != 250.0 || kernel.OpsPerSec != 4000000 ||
+		kernel.BytesPerOp != 48 || kernel.AllocsPerOp != 2 {
+		t.Errorf("kernel entry mismatch: %+v", kernel)
+	}
+	// A line without -benchmem columns keeps zero B/op.
+	rng := base.Benchmarks[2]
+	if rng.Name != "repro/internal/sim.BenchmarkRNGExp" || rng.BytesPerOp != 0 || rng.NsPerOp != 60.5 {
+		t.Errorf("rng entry mismatch: %+v", rng)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run(strings.NewReader(sampleBench), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(strings.NewReader(sampleBench), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("output differs across identical inputs")
+	}
+}
+
+func TestRunRejectsEmptyAndGarbageValues(t *testing.T) {
+	if err := run(strings.NewReader("PASS\nok x 1s\n"), &bytes.Buffer{}); err == nil {
+		t.Error("empty input accepted")
+	}
+	if err := run(strings.NewReader("BenchmarkX-8 notanumber 1 ns/op\n"), &bytes.Buffer{}); err == nil {
+		t.Error("garbage iteration count accepted")
+	}
+}

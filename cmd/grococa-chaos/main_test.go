@@ -2,9 +2,17 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 )
+
+// TestMain routes harness-kill child re-execs (childEnv set) into the
+// command before the test framework parses any flags.
+func TestMain(m *testing.M) {
+	childMain()
+	os.Exit(m.Run())
+}
 
 func TestRunRejectsBadFlags(t *testing.T) {
 	cases := [][]string{
@@ -69,6 +77,64 @@ func TestRunByteIdenticalAcrossParallel(t *testing.T) {
 	}
 	if outputs[0] != outputs[1] {
 		t.Errorf("output differs across -parallel:\n--- 1 ---\n%s--- 4 ---\n%s", outputs[0], outputs[1])
+	}
+}
+
+// TestRunResume checks the journaled path end to end: a matrix run twice
+// against the same journal directory prints byte-identical reports (the
+// second run replays entirely from the journal), and a resume with
+// different flags is refused via the meta record.
+func TestRunResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign simulation in -short mode")
+	}
+	dir := t.TempDir()
+	args := []string{"-campaign", "churn-wave", "-scheme", "sc", "-seeds", "2", "-resume", dir}
+	outputs := make([]string, 0, 2)
+	for i := 0; i < 2; i++ {
+		var out bytes.Buffer
+		code, err := run(args, &out)
+		if err != nil || code != 0 {
+			t.Fatalf("run %d: code %d, err %v", i, code, err)
+		}
+		outputs = append(outputs, out.String())
+	}
+	if outputs[0] != outputs[1] {
+		t.Errorf("journaled rerun differs:\n--- first ---\n%s--- second ---\n%s", outputs[0], outputs[1])
+	}
+	if _, err := run([]string{"-campaign", "churn-wave", "-scheme", "sc", "-seeds", "3", "-resume", dir}, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "meta mismatch") {
+		t.Errorf("resume with changed flags accepted: %v", err)
+	}
+}
+
+// TestHarnessKill drives the -selftest-kill mode: a child process is
+// SIGKILLed mid-matrix and the resumed report must match the golden.
+func TestHarnessKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign simulation in -short mode")
+	}
+	var out bytes.Buffer
+	code, err := run([]string{"-selftest-kill", "-killdir", t.TempDir(),
+		"-campaign", "outage-storm", "-scheme", "grococa", "-seeds", "3", "-parallel", "1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("harness-kill self-test exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "harness-kill self-test ok") {
+		t.Errorf("verdict line missing:\n%s", out.String())
+	}
+}
+
+// TestKillSelfTestRejectsBadSetup pins the -selftest-kill preconditions.
+func TestKillSelfTestRejectsBadSetup(t *testing.T) {
+	if _, err := run([]string{"-selftest-kill"}, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "-killdir") {
+		t.Errorf("missing -killdir accepted: %v", err)
+	}
+	if _, err := run([]string{"-selftest-kill", "-killdir", t.TempDir(),
+		"-campaign", "blackout", "-scheme", "sc", "-seeds", "1"}, &bytes.Buffer{}); err == nil || !strings.Contains(err.Error(), "at least 2 runs") {
+		t.Errorf("single-run matrix accepted: %v", err)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/client"
 	"repro/internal/clock"
 	"repro/internal/core"
@@ -106,6 +107,7 @@ func run(args []string) error {
 	traceFile := fs.String("tracefile", "", "write a CSV trace of every measured request to this file")
 	reps := fs.Int("reps", 1, "independent replications with derived seeds; > 1 prints mean ± sample sd")
 	parallel := fs.Int("parallel", 0, "worker goroutines for -reps (0 = GOMAXPROCS); output is identical for any value")
+	resume := fs.String("resume", "", "journal completed replications in this directory and resume an interrupted run from it (implies the -reps path)")
 
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -152,11 +154,11 @@ func run(args []string) error {
 	if *reps < 1 {
 		return fmt.Errorf("-reps %d must be at least 1", *reps)
 	}
-	if *reps > 1 {
+	if *reps > 1 || *resume != "" {
 		if *traceFile != "" {
-			return fmt.Errorf("-tracefile requires -reps 1 (a trace is one run's requests)")
+			return fmt.Errorf("-tracefile requires -reps 1 without -resume (a trace is one run's requests)")
 		}
-		return runReplicated(cfg, *reps, *parallel)
+		return runReplicated(cfg, *reps, *parallel, *resume)
 	}
 
 	start := wallClock.Now()
@@ -255,14 +257,31 @@ func run(args []string) error {
 // engine (replication 0 keeps the flag seed, later replications derive
 // independent seeds) and prints each replication plus the mean ± sample
 // standard deviation.
-func runReplicated(cfg core.Config, reps, workers int) error {
+func runReplicated(cfg core.Config, reps, workers int, resume string) error {
 	start := wallClock.Now()
-	rs, p, err := experiments.Replicate(cfg, reps, workers)
+	var jr *checkpoint.Journal
+	if resume != "" {
+		// Bind the journal to the full configuration and replication count:
+		// resuming with any changed flag is refused rather than mixing runs.
+		meta := fmt.Sprintf("grococa-sim reps=%d cfg=%+v", reps, cfg)
+		var err error
+		jr, err = checkpoint.OpenJournal(resume, []byte(meta))
+		if err != nil {
+			return err
+		}
+		defer func() { _ = jr.Close() }()
+	}
+	rs, p, err := experiments.ReplicateJournaled(cfg, reps, workers, jr)
 	if err != nil {
 		return err
 	}
 	for i, r := range rs {
 		fmt.Printf("rep %d: %v\n", i, r)
+	}
+	if p.Spread == nil {
+		fmt.Printf("mean:  %v\n", p.Results)
+		fmt.Printf("wall=%v\n", clock.Since(wallClock, start).Round(time.Millisecond))
+		return nil
 	}
 	fmt.Printf("mean:  %v\n", p.Results)
 	sp := p.Spread

@@ -248,6 +248,61 @@ func TestRecoveryTrackerSLOViolation(t *testing.T) {
 	}
 }
 
+// TestRecoveryTrackerCensoredAtEnd: an episode still degraded when the run
+// ends is censored — the run finished before recovery could be observed —
+// rather than counted as an SLO failure.
+func TestRecoveryTrackerCensoredAtEnd(t *testing.T) {
+	cfg := RecoveryConfig{Window: 4, LatencyFactor: 2, HitRatioSlack: 0.5}.withDefaults()
+	tr := newRecoveryTracker(cfg, nil, func(inv string, _ time.Duration, _ network.NodeID, _ string) {
+		t.Errorf("unexpected violation %s", inv)
+	})
+	for i := 1; i <= 4; i++ {
+		tr.observe(time.Duration(i)*time.Second, 10*time.Millisecond, true)
+	}
+	tr.onFault(5*time.Second, "crash")
+	// Two degraded completions, then the run ends mid-episode.
+	tr.observe(6*time.Second, 100*time.Millisecond, false)
+	tr.observe(7*time.Second, 100*time.Millisecond, false)
+	tr.finish(8 * time.Second)
+	stats := tr.stats()
+	if len(stats) != 1 || stats[0].Cause != "crash" {
+		t.Fatalf("stats = %+v, want one crash entry", stats)
+	}
+	s := stats[0]
+	if s.Episodes != 1 || s.Recovered != 0 || s.Unrecovered != 0 || s.Censored != 1 {
+		t.Fatalf("episodes/recovered/unrecovered/censored = %d/%d/%d/%d, want 1/0/0/1",
+			s.Episodes, s.Recovered, s.Unrecovered, s.Censored)
+	}
+}
+
+// TestRecoveryTrackerTailOutage: an outage window that closes after the
+// last request completion still opens an episode — finish advances the
+// schedule before censoring — so tail outages are not silently dropped.
+func TestRecoveryTrackerTailOutage(t *testing.T) {
+	cfg := RecoveryConfig{Window: 4, LatencyFactor: 2, HitRatioSlack: 0.5}.withDefaults()
+	tr := newRecoveryTracker(cfg, nil, func(string, time.Duration, network.NodeID, string) {})
+	tr.firstOutageAt = 10 * time.Second
+	tr.nextOutageEnd = 12 * time.Second
+	tr.outagePeriod = 10 * time.Second
+	// Healthy completions fill the window and carry past the first outage:
+	// its episode opens at the 12s boundary and recovers immediately.
+	for i := 1; i <= 15; i++ {
+		tr.observe(time.Duration(i)*time.Second, 10*time.Millisecond, true)
+	}
+	// The second outage (20s–22s) falls entirely after the last completion;
+	// the run ends at 25s with no further observations.
+	tr.finish(25 * time.Second)
+	stats := tr.stats()
+	if len(stats) != 1 || stats[0].Cause != "outage" {
+		t.Fatalf("stats = %+v, want one outage entry", stats)
+	}
+	s := stats[0]
+	if s.Episodes != 2 || s.Recovered != 1 || s.Censored != 1 {
+		t.Fatalf("episodes/recovered/censored = %d/%d/%d, want 2/1/1",
+			s.Episodes, s.Recovered, s.Censored)
+	}
+}
+
 func TestRecoveryTrackerUnfilledBaselineDisables(t *testing.T) {
 	cfg := RecoveryConfig{Window: 50}.withDefaults()
 	tr := newRecoveryTracker(cfg, nil, func(string, time.Duration, network.NodeID, string) {

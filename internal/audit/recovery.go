@@ -59,8 +59,15 @@ type RecoveryStats struct {
 	// time-to-recover.
 	TotalRecovery time.Duration
 	MaxRecovery   time.Duration
-	// Unrecovered counts episodes still degraded when the run ended.
+	// Unrecovered counts episodes that demonstrably failed the SLO — the
+	// degradation outlasted RecoveryConfig.MaxRecovery while the run was
+	// still producing observations.
 	Unrecovered int
+	// Censored counts episodes still open when the run ended: the run
+	// finished before recovery could be observed, so they are neither
+	// recovered nor failed. Lumping them into Unrecovered would overstate
+	// SLO misses on short runs.
+	Censored int
 }
 
 // MeanRecovery returns the mean time-to-recover of recovered episodes.
@@ -211,15 +218,24 @@ func (t *recoveryTracker) resolve(at time.Duration) {
 	}
 }
 
-// finish closes episodes still pending when the run ends.
+// finish closes episodes still pending when the run ends. Outage windows
+// that closed after the last request completion still opened episodes:
+// the schedule is advanced to the end time first, so a run whose tail
+// overlaps an outage does not silently drop the episode. Everything still
+// pending is then recorded as censored — the run ended before recovery
+// could be observed, which is not the same as failing to recover.
 func (t *recoveryTracker) finish(at time.Duration) {
+	for t.nextOutageEnd > 0 && at >= t.nextOutageEnd {
+		t.openEpisode("outage", t.nextOutageEnd)
+		t.nextOutageEnd += t.outagePeriod
+	}
 	causes := make([]string, 0, len(t.pending))
 	for c := range t.pending {
 		causes = append(causes, c)
 	}
 	sort.Strings(causes)
 	for _, cause := range causes {
-		t.stat(cause).Unrecovered++
+		t.stat(cause).Censored++
 		delete(t.pending, cause)
 	}
 }

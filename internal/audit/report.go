@@ -87,8 +87,8 @@ func (r Report) Summary() string {
 		fmt.Fprintf(&b, "  cause   %-20s %d\n", c.Cause, c.Count)
 	}
 	for _, s := range r.Recovery {
-		fmt.Fprintf(&b, "  recovery %-8s episodes=%d recovered=%d unrecovered=%d mean=%v max=%v\n",
-			s.Cause, s.Episodes, s.Recovered, s.Unrecovered, s.MeanRecovery(), s.MaxRecovery)
+		fmt.Fprintf(&b, "  recovery %-8s episodes=%d recovered=%d unrecovered=%d censored=%d mean=%v max=%v\n",
+			s.Cause, s.Episodes, s.Recovered, s.Unrecovered, s.Censored, s.MeanRecovery(), s.MaxRecovery)
 	}
 	return b.String()
 }

@@ -1,0 +1,95 @@
+package bloom
+
+import "fmt"
+
+// Serializable state types for the checkpoint layer (internal/checkpoint).
+// Captures copy the backing arrays, so a snapshot is immune to later
+// mutation of the live filter.
+
+// FilterState is a serializable Bloom filter.
+type FilterState struct {
+	M     int
+	K     int
+	Words []uint64
+}
+
+// State captures the filter.
+func (f *Filter) State() FilterState {
+	words := make([]uint64, len(f.words))
+	copy(words, f.words)
+	return FilterState{M: f.m, K: f.k, Words: words}
+}
+
+// RestoreFilter rebuilds a filter from captured state.
+func RestoreFilter(st FilterState) (*Filter, error) {
+	f, err := NewFilter(st.M, st.K)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Words) != len(f.words) {
+		return nil, fmt.Errorf("bloom: filter state has %d words, geometry needs %d", len(st.Words), len(f.words))
+	}
+	copy(f.words, st.Words)
+	return f, nil
+}
+
+// CountingFilterState is a serializable counting filter.
+type CountingFilterState struct {
+	M         int
+	K         int
+	WidthBits int
+	Dirty     bool
+	Counts    []uint32
+}
+
+// State captures the counter vector.
+func (c *CountingFilter) State() CountingFilterState {
+	counts := make([]uint32, len(c.counts))
+	copy(counts, c.counts)
+	return CountingFilterState{M: c.m, K: c.k, WidthBits: c.widthBits, Dirty: c.dirty, Counts: counts}
+}
+
+// RestoreCountingFilter rebuilds a counter vector from captured state.
+func RestoreCountingFilter(st CountingFilterState) (*CountingFilter, error) {
+	c, err := NewCountingFilter(st.M, st.K, st.WidthBits)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Counts) != st.M {
+		return nil, fmt.Errorf("bloom: counting filter state has %d counters, geometry needs %d", len(st.Counts), st.M)
+	}
+	copy(c.counts, st.Counts)
+	c.dirty = st.Dirty
+	return c, nil
+}
+
+// PeerVectorState is a serializable peer counter vector.
+type PeerVectorState struct {
+	M         int
+	K         int
+	WidthBits int
+	Members   int
+	Counts    []uint32
+}
+
+// State captures the peer vector.
+func (v *PeerVector) State() PeerVectorState {
+	counts := make([]uint32, len(v.counts))
+	copy(counts, v.counts)
+	return PeerVectorState{M: v.m, K: v.k, WidthBits: v.widthBits, Members: v.members, Counts: counts}
+}
+
+// RestorePeerVector rebuilds a peer vector from captured state.
+func RestorePeerVector(st PeerVectorState) (*PeerVector, error) {
+	v, err := NewPeerVector(st.M, st.K)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Counts) != st.M {
+		return nil, fmt.Errorf("bloom: peer vector state has %d counters, geometry needs %d", len(st.Counts), st.M)
+	}
+	copy(v.counts, st.Counts)
+	v.widthBits = st.WidthBits
+	v.members = st.Members
+	return v, nil
+}

@@ -1,0 +1,83 @@
+package bloom
+
+import "testing"
+
+func TestFilterStateRoundTrip(t *testing.T) {
+	f, err := NewFilter(512, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(0); e < 40; e++ {
+		f.Add(e * 7)
+	}
+	r, err := RestoreFilter(f.State())
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !r.Equal(f) {
+		t.Fatal("restored filter differs")
+	}
+	// The snapshot must be a copy, not a view.
+	st := f.State()
+	f.Add(99999)
+	if r2, _ := RestoreFilter(st); r2.Equal(f) {
+		t.Fatal("state aliased the live filter")
+	}
+}
+
+func TestCountingFilterStateRoundTrip(t *testing.T) {
+	c, err := NewCountingFilter(256, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(0); e < 30; e++ {
+		c.Insert(e)
+	}
+	c.Remove(3)
+	r, err := RestoreCountingFilter(c.State())
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if !r.Signature().Equal(c.Signature()) {
+		t.Fatal("restored signature differs")
+	}
+	if r.Dirty() != c.Dirty() || r.WidthBits() != c.WidthBits() {
+		t.Fatal("restored flags differ")
+	}
+	// Future mutations must agree.
+	if got, want := r.Remove(5), c.Remove(5); len(got) != len(want) {
+		t.Fatal("restored filter diverged on Remove")
+	}
+}
+
+func TestPeerVectorStateRoundTrip(t *testing.T) {
+	v, err := NewPeerVector(256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, _ := NewFilter(256, 2)
+	for e := uint64(0); e < 20; e++ {
+		sig.Add(e)
+	}
+	if err := v.AddSignature(sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.AddSignature(sig); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestorePeerVector(v.State())
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if r.Members() != v.Members() || r.WidthBits() != v.WidthBits() {
+		t.Fatal("restored membership/width differ")
+	}
+	if !r.Signature().Equal(v.Signature()) {
+		t.Fatal("restored peer signature differs")
+	}
+	for e := uint64(0); e < 40; e++ {
+		if r.CoversElement(e) != v.CoversElement(e) {
+			t.Fatalf("coverage diverged at %d", e)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package cache
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Serializable state types for the checkpoint layer (internal/checkpoint).
+// The recency list is captured most-recently-used first, so restore
+// reproduces both the contents and the exact LRU order — the replacement
+// protocols' victim scans behave identically after a round trip.
+
+// EntryState is one cached item with its consistency and replacement
+// metadata.
+type EntryState struct {
+	ID          workload.ItemID
+	Size        int
+	RetrievedAt time.Duration
+	TTL         time.Duration
+	LastAccess  time.Duration
+	SingletTTL  int
+	Donated     bool
+	Accesses    int
+}
+
+// LRUState is a serializable cache image, entries most recently used first.
+type LRUState struct {
+	Capacity int
+	Entries  []EntryState
+}
+
+// State captures the cache contents and recency order.
+func (c *LRU) State() LRUState {
+	st := LRUState{Capacity: c.capacity, Entries: make([]EntryState, 0, len(c.entries))}
+	c.Each(func(e *Entry) {
+		st.Entries = append(st.Entries, EntryState{
+			ID:          e.ID,
+			Size:        e.Size,
+			RetrievedAt: e.RetrievedAt,
+			TTL:         e.TTL,
+			LastAccess:  e.LastAccess,
+			SingletTTL:  e.SingletTTL,
+			Donated:     e.Donated,
+			Accesses:    e.Accesses,
+		})
+	})
+	return st
+}
+
+// RestoreLRU rebuilds a cache from captured state, preserving the recency
+// order.
+func RestoreLRU(st LRUState) (*LRU, error) {
+	c, err := NewLRU(st.Capacity)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Entries) > st.Capacity {
+		return nil, fmt.Errorf("cache: state holds %d entries over capacity %d", len(st.Entries), st.Capacity)
+	}
+	// Entries are MRU-first; inserting in reverse puts each at the front in
+	// the original order.
+	for i := len(st.Entries) - 1; i >= 0; i-- {
+		es := st.Entries[i]
+		e := &Entry{
+			ID:          es.ID,
+			Size:        es.Size,
+			RetrievedAt: es.RetrievedAt,
+			TTL:         es.TTL,
+			LastAccess:  es.LastAccess,
+			SingletTTL:  es.SingletTTL,
+			Donated:     es.Donated,
+			Accesses:    es.Accesses,
+		}
+		if err := c.Add(e); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

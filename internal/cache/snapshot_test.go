@@ -1,0 +1,58 @@
+package cache
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestLRUStateRoundTrip(t *testing.T) {
+	c, err := NewLRU(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range []workload.ItemID{10, 20, 30, 40} {
+		e := &Entry{
+			ID:          id,
+			Size:        1024,
+			RetrievedAt: time.Duration(i) * time.Second,
+			TTL:         time.Minute,
+			LastAccess:  time.Duration(i) * time.Second,
+			SingletTTL:  i,
+			Donated:     i%2 == 0,
+			Accesses:    i,
+		}
+		if err := c.Add(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Disturb recency so the order is not insertion order.
+	c.Get(20, 10*time.Second)
+
+	r, err := RestoreLRU(c.State())
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if r.Cap() != c.Cap() || r.Len() != c.Len() {
+		t.Fatalf("capacity/length mismatch: %d/%d vs %d/%d", r.Cap(), r.Len(), c.Cap(), c.Len())
+	}
+	// Victim scans must see the identical order and metadata.
+	var want, got []Entry
+	c.Each(func(e *Entry) { ec := *e; ec.elem = nil; want = append(want, ec) })
+	r.Each(func(e *Entry) { ec := *e; ec.elem = nil; got = append(got, ec) })
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("restored order/metadata mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if v := r.Victim(); v == nil || v.ID != c.Victim().ID {
+		t.Fatalf("victim mismatch after restore")
+	}
+}
+
+func TestRestoreLRURejectsOverCapacity(t *testing.T) {
+	st := LRUState{Capacity: 1, Entries: []EntryState{{ID: 1}, {ID: 2}}}
+	if _, err := RestoreLRU(st); err == nil {
+		t.Fatal("over-capacity state accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+)
+
+// resumeOptions is a small matrix — 1 campaign × 2 schemes × 2 seeds =
+// 4 runs — big enough that a kill can land mid-matrix.
+func resumeOptions(jr *checkpoint.Journal, onResult func(RunResult)) Options {
+	c, _ := CampaignByName("churn-wave")
+	return Options{
+		BaseSeed:  3,
+		Seeds:     2,
+		Campaigns: []Campaign{c},
+		Schemes:   []core.Scheme{core.SchemeSC, core.SchemeGroCoca},
+		Workers:   2,
+		Journal:   jr,
+		OnResult:  onResult,
+	}
+}
+
+// renderMatrix runs the matrix and renders every per-run report plus the
+// summary into one string, the byte-identity oracle for resume tests.
+func renderMatrix(t *testing.T, jr *checkpoint.Journal) (Summary, string) {
+	t.Helper()
+	var b strings.Builder
+	sum, err := Run(resumeOptions(jr, func(r RunResult) {
+		fmt.Fprintf(&b, "%s/%v/%d seed=%d\n%s", r.Campaign, r.Scheme, r.SeedIndex, r.Seed, r.Report.Summary())
+	}))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return sum, b.String()
+}
+
+// TestCampaignResumeByteIdentical simulates a campaign matrix killed at
+// arbitrary points — the journal truncated at record boundaries and at a
+// torn mid-record offset — and checks the resumed matrix reproduces the
+// per-run reports and summary byte for byte.
+func TestCampaignResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign simulations in -short mode")
+	}
+	meta := []byte("chaos-resume-v1")
+
+	goldenSum, golden := renderMatrix(t, nil)
+
+	// Full journaled run to learn the record boundaries.
+	fullDir := t.TempDir()
+	jr, err := checkpoint.OpenJournal(fullDir, meta)
+	if err != nil {
+		t.Fatalf("open journal: %v", err)
+	}
+	if _, got := renderMatrix(t, jr); got != golden {
+		t.Fatalf("journaled run differs from plain run:\n%s\nvs\n%s", got, golden)
+	}
+	offsets := jr.Offsets()
+	full, err := os.ReadFile(jr.Path())
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	_ = jr.Close()
+	if len(offsets) < 4 {
+		t.Fatalf("journal too small to test kill points: %d records", len(offsets))
+	}
+
+	// Kill points: nothing completed, a quarter in, three quarters in, and
+	// a torn tail 7 bytes into a record.
+	cuts := []int64{
+		offsets[0],
+		offsets[len(offsets)/4],
+		offsets[3*len(offsets)/4],
+		offsets[len(offsets)/2] + 7,
+	}
+	for _, cut := range cuts {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "journal.gckj"), full[:cut], 0o644); err != nil {
+			t.Fatalf("write truncated journal: %v", err)
+		}
+		jr, err := checkpoint.OpenJournal(dir, meta)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		sum, got := renderMatrix(t, jr)
+		_ = jr.Close()
+		if got != golden {
+			t.Errorf("cut %d: resumed per-run reports differ from uninterrupted run", cut)
+		}
+		if !reflect.DeepEqual(sum, goldenSum) {
+			t.Errorf("cut %d: resumed summary differs: %+v\nvs\n%+v", cut, sum, goldenSum)
+		}
+	}
+}

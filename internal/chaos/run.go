@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/cache"
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/experiments"
 )
@@ -42,6 +43,10 @@ type Options struct {
 	// OnResult, when set, receives every run's result in canonical
 	// (campaign, scheme, seed index) order regardless of worker count.
 	OnResult func(RunResult)
+	// Journal, when non-nil, records every completed run durably so a
+	// killed campaign matrix resumed against the same journal re-executes
+	// only the missing runs and reports byte-identically.
+	Journal *checkpoint.Journal
 }
 
 // withDefaults fills the zero-value knobs.
@@ -87,10 +92,12 @@ type Row struct {
 	Violations int
 	// StaleRatio is the mean ground-truth stale-serve ratio.
 	StaleRatio float64
-	// Recovered and Unrecovered sum the recovery episodes; MeanRecovery
-	// averages the recovered episodes' time-to-recover.
+	// Recovered, Unrecovered and Censored sum the recovery episodes:
+	// recovered within band, demonstrably past the SLO, and still open at
+	// run end (too late to observe recovery either way).
 	Recovered   int
 	Unrecovered int
+	Censored    int
 	// MeanRecovery is the mean time-to-recover across the cell's
 	// recovered episodes.
 	MeanRecovery time.Duration
@@ -184,7 +191,16 @@ func Run(opts Options) (Summary, error) {
 	}
 	cells := len(opts.Campaigns) * len(opts.Schemes)
 	var sum Summary
-	err := experiments.Pool(cells, reps, opts.Workers,
+	keyFor := func(cell, rep int) string {
+		c := opts.Campaigns[cell/len(opts.Schemes)]
+		scheme := opts.Schemes[cell%len(opts.Schemes)]
+		k := rep
+		if opts.Replay {
+			k = opts.SeedIndex
+		}
+		return fmt.Sprintf("done/%s/%d/%d", c.Name, int(scheme), k)
+	}
+	err := experiments.PoolJournaled(cells, reps, opts.Workers, opts.Journal, keyFor,
 		func(cell, rep int) (RunResult, error) {
 			c := opts.Campaigns[cell/len(opts.Schemes)]
 			scheme := opts.Schemes[cell%len(opts.Schemes)]
@@ -217,6 +233,7 @@ func Run(opts Options) (Summary, error) {
 				for _, rec := range r.Report.Recovery {
 					row.Recovered += rec.Recovered
 					row.Unrecovered += rec.Unrecovered
+					row.Censored += rec.Censored
 					recoverySum += rec.TotalRecovery
 				}
 				if opts.OnResult != nil {

@@ -1,0 +1,119 @@
+package checkpoint
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FormatVersion is the current checkpoint format version. It must be
+// bumped whenever the shape of any serialized state type changes; Open
+// rejects envelopes from other versions instead of guessing.
+const FormatVersion uint32 = 1
+
+// envelopeMagic identifies a sealed checkpoint envelope.
+var envelopeMagic = []byte("GCKP")
+
+// Digest returns the hex SHA-256 of a canonical payload — the state
+// digest used for corruption detection and cross-run determinism checks.
+func Digest(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// Seal wraps a canonical payload in the versioned envelope:
+//
+//	"GCKP" | version u32 | payload len u64 | payload | sha256(header|payload)
+//
+// The digest covers the header too, so a flipped version byte is detected
+// as corruption rather than decoded as a different format.
+func Seal(version uint32, payload []byte) []byte {
+	var b bytes.Buffer
+	b.Write(envelopeMagic)
+	putU32(&b, version)
+	putU64(&b, uint64(len(payload)))
+	b.Write(payload)
+	sum := sha256.Sum256(b.Bytes())
+	b.Write(sum[:])
+	return b.Bytes()
+}
+
+// Open verifies a sealed envelope and returns its version and payload.
+// A wrong magic, a truncated body, or a digest mismatch is an error: a
+// checkpoint is either intact or rejected, never partially trusted.
+func Open(data []byte) (uint32, []byte, error) {
+	header := len(envelopeMagic) + 4 + 8
+	if len(data) < header+sha256.Size {
+		return 0, nil, fmt.Errorf("checkpoint: envelope too short (%d bytes)", len(data))
+	}
+	if !bytes.Equal(data[:len(envelopeMagic)], envelopeMagic) {
+		return 0, nil, fmt.Errorf("checkpoint: bad magic %q", data[:len(envelopeMagic)])
+	}
+	r := &reader{data: data, off: len(envelopeMagic)}
+	version, err := r.u32()
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := r.u64()
+	if err != nil {
+		return 0, nil, err
+	}
+	if uint64(len(data)) != uint64(header)+n+sha256.Size {
+		return 0, nil, fmt.Errorf("checkpoint: envelope length %d does not match payload length %d", len(data), n)
+	}
+	payload := data[header : header+int(n)]
+	want := data[header+int(n):]
+	sum := sha256.Sum256(data[:header+int(n)])
+	if !bytes.Equal(sum[:], want) {
+		return 0, nil, fmt.Errorf("checkpoint: digest mismatch (corrupted envelope)")
+	}
+	return version, payload, nil
+}
+
+// WriteFile atomically writes a sealed envelope: the bytes land in a
+// temporary file in the same directory, are fsynced, and are renamed over
+// the target, so a crash mid-write never leaves a half-written checkpoint
+// under the final name.
+func WriteFile(path string, version uint32, payload []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer func() { _ = os.Remove(tmp.Name()) }()
+	if _, err := tmp.Write(Seal(version, payload)); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadFile opens a sealed envelope file, verifying magic, length, digest,
+// and that the version matches want.
+func ReadFile(path string, want uint32) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	version, payload, err := Open(data)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	if version != want {
+		return nil, fmt.Errorf("checkpoint: %s: format version %d, want %d", path, version, want)
+	}
+	return payload, nil
+}

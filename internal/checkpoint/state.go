@@ -1,0 +1,91 @@
+package checkpoint
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/server"
+)
+
+// SimulationState is the full durable state of a simulation at a quiescent
+// point: per-host caches and GroCoca signature/TCG structures, the MSS
+// catalog and TCG matrices, and the fault plan's RNG stream positions.
+// Its canonical encoding (Marshal) feeds the state digest, which is the
+// corruption-detection and cross-run determinism instrument: two runs of
+// the same configuration and seed must produce identical digests at the
+// same point.
+type SimulationState struct {
+	Scheme string
+	Now    time.Duration
+	Hosts  []client.HostState
+	// Catalog is the MSS data catalog; TCG is nil for schemes without a
+	// group manager, Faults is nil for ideal channels.
+	Catalog server.CatalogState
+	TCG     *server.TCGState
+	Faults  *network.FaultPlanState
+}
+
+// Capture snapshots a simulation's durable component state. Hosts are
+// captured in ID order; it is an error while any request is in flight
+// (capture at end of run, or between completed requests).
+func Capture(s *core.Simulation) (SimulationState, error) {
+	st := SimulationState{
+		Scheme:  s.Config().Scheme.String(),
+		Now:     s.Kernel().Now(),
+		Catalog: s.MSS().Catalog().State(),
+	}
+	for _, h := range s.Hosts() {
+		hs, err := h.State()
+		if err != nil {
+			return SimulationState{}, fmt.Errorf("checkpoint: %w", err)
+		}
+		st.Hosts = append(st.Hosts, hs)
+	}
+	if tcg := s.MSS().TCG(); tcg != nil {
+		ts := tcg.State()
+		st.TCG = &ts
+	}
+	if fp := s.FaultPlan(); fp != nil {
+		fs := fp.State()
+		st.Faults = &fs
+	}
+	return st, nil
+}
+
+// Encode marshals the state canonically and seals it in the versioned
+// envelope.
+func (st SimulationState) Encode() ([]byte, error) {
+	payload, err := Marshal(st)
+	if err != nil {
+		return nil, err
+	}
+	return Seal(FormatVersion, payload), nil
+}
+
+// StateDigest returns the hex SHA-256 of the state's canonical encoding.
+func (st SimulationState) StateDigest() (string, error) {
+	payload, err := Marshal(st)
+	if err != nil {
+		return "", err
+	}
+	return Digest(payload), nil
+}
+
+// DecodeSimulationState opens a sealed envelope and decodes the state.
+func DecodeSimulationState(data []byte) (SimulationState, error) {
+	version, payload, err := Open(data)
+	if err != nil {
+		return SimulationState{}, err
+	}
+	if version != FormatVersion {
+		return SimulationState{}, fmt.Errorf("checkpoint: state format version %d, want %d", version, FormatVersion)
+	}
+	var st SimulationState
+	if err := Unmarshal(payload, &st); err != nil {
+		return SimulationState{}, err
+	}
+	return st, nil
+}

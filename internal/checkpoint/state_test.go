@@ -1,0 +1,155 @@
+package checkpoint
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+func tinyConfig(seed int64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.NumClients = 8
+	cfg.NData = 300
+	cfg.AccessRange = 150
+	cfg.CacheSize = 12
+	cfg.SigBits = 600
+	cfg.WarmupRequests = 10
+	cfg.MeasuredRequests = 25
+	cfg.DataUpdateRate = 0.5
+	return cfg
+}
+
+func runAndCapture(t *testing.T, seed int64, faults bool) SimulationState {
+	t.Helper()
+	s, err := core.New(tinyConfig(seed))
+	if err != nil {
+		t.Fatalf("new: %v", err)
+	}
+	if faults {
+		plan, err := network.NewFaultPlan(network.FaultPlanConfig{
+			P2P:    network.ChannelFaults{LossProb: 0.05},
+			Uplink: network.ChannelFaults{LossProb: 0.02},
+		}, sim.NewRNG(seed).Stream("fault"))
+		if err != nil {
+			t.Fatalf("fault plan: %v", err)
+		}
+		s.InstallFaultPlan(plan)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if n := s.OutstandingRequests(); n != 0 {
+		t.Fatalf("%d requests still outstanding after run", n)
+	}
+	st, err := Capture(s)
+	if err != nil {
+		t.Fatalf("capture: %v", err)
+	}
+	return st
+}
+
+// TestCaptureDigestDeterministic: two runs of the identical configuration
+// and seed must capture byte-identical state; a different seed must not.
+func TestCaptureDigestDeterministic(t *testing.T) {
+	a := runAndCapture(t, 5, true)
+	b := runAndCapture(t, 5, true)
+	da, err := a.StateDigest()
+	if err != nil {
+		t.Fatalf("digest: %v", err)
+	}
+	db, err := b.StateDigest()
+	if err != nil {
+		t.Fatalf("digest: %v", err)
+	}
+	if da != db {
+		t.Fatalf("identical runs captured different digests:\n%s\n%s", da, db)
+	}
+	c := runAndCapture(t, 6, true)
+	dc, err := c.StateDigest()
+	if err != nil {
+		t.Fatalf("digest: %v", err)
+	}
+	if dc == da {
+		t.Fatal("different seeds captured the same digest")
+	}
+}
+
+// TestCaptureEncodeRoundTrip: a captured state survives seal + open +
+// decode with its digest intact.
+func TestCaptureEncodeRoundTrip(t *testing.T) {
+	st := runAndCapture(t, 9, false)
+	if len(st.Hosts) != 8 {
+		t.Fatalf("captured %d hosts, want 8", len(st.Hosts))
+	}
+	if st.TCG == nil {
+		t.Fatal("GroCoca run captured no TCG state")
+	}
+	if st.Faults != nil {
+		t.Fatal("faultless run captured fault state")
+	}
+	env, err := st.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeSimulationState(env)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	d1, err := st.StateDigest()
+	if err != nil {
+		t.Fatalf("digest: %v", err)
+	}
+	d2, err := got.StateDigest()
+	if err != nil {
+		t.Fatalf("digest: %v", err)
+	}
+	if d1 != d2 {
+		t.Fatal("decode changed the state digest")
+	}
+}
+
+// TestFaultPlanStateRoundTrip: a restored fault plan continues the exact
+// drop sequence from the capture point.
+func TestFaultPlanStateRoundTrip(t *testing.T) {
+	cfg := network.FaultPlanConfig{
+		P2P: network.ChannelFaults{LossProb: 0.2, Burst: network.BurstFaults{
+			GoodToBad: 0.05, BadToGood: 0.2, BadLoss: 0.9,
+		}},
+		Uplink:       network.ChannelFaults{LossProb: 0.1},
+		CrashMTBF:    200 * time.Second,
+		CrashDownMin: time.Second,
+		CrashDownMax: 5 * time.Second,
+	}
+	p, err := network.NewFaultPlan(cfg, sim.NewRNG(3).Stream("fault"))
+	if err != nil {
+		t.Fatalf("plan: %v", err)
+	}
+	for i := 0; i < 500; i++ {
+		p.DropP2P(100, 0)
+		p.DropUplink(40, 0)
+		p.CrashDelay(network.NodeID(i % 4))
+	}
+	q, err := network.RestoreFaultPlan(p.State())
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	for i := 0; i < 500; i++ {
+		if p.DropP2P(100, 0) != q.DropP2P(100, 0) {
+			t.Fatalf("p2p drop %d diverged", i)
+		}
+		if p.DropUplink(40, 0) != q.DropUplink(40, 0) {
+			t.Fatalf("uplink drop %d diverged", i)
+		}
+		id := network.NodeID(i % 5) // includes a host unseen before capture
+		if p.CrashDelay(id) != q.CrashDelay(id) {
+			t.Fatalf("crash delay %d diverged", i)
+		}
+		if p.CrashDowntime(id) != q.CrashDowntime(id) {
+			t.Fatalf("crash downtime %d diverged", i)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package client
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bloom"
+	"repro/internal/cache"
+	"repro/internal/network"
+	"repro/internal/stats"
+)
+
+// HostState is the serializable durable state of one mobile host for the
+// checkpoint layer (internal/checkpoint): cache contents, the GroCoca
+// TCG/signature structures, and the protocol estimators. It deliberately
+// captures a quiescent host — a host with an in-flight request holds
+// pending timers and reply state whose closures cannot be serialized, so
+// State refuses to capture it; full-run resume happens at replication
+// granularity instead (see DESIGN.md "Checkpoint format & compatibility").
+type HostState struct {
+	ID        network.NodeID
+	Connected bool
+	Completed int
+	Seq       uint64
+
+	// Protocol estimators.
+	Tau         stats.WelfordState
+	ActivityGap stats.EWMAState
+
+	LastRequestAt     time.Duration
+	LastServerContact time.Duration
+	Departures        int
+
+	// Cache contents in LRU order.
+	Cache cache.LRUState
+
+	// GroCoca state: current TCG view, own signature counter vector, peer
+	// vector, and stored member signatures. Nil pointers mark non-GroCoca
+	// schemes.
+	TCG     map[network.NodeID]bool
+	OwnSig  *bloom.CountingFilterState
+	PeerVec *bloom.PeerVectorState
+	HaveSig map[network.NodeID]bloom.FilterState
+}
+
+// State captures the host's durable state. It is an error to capture a
+// host mid-request: the pending timers are not serializable state.
+func (h *Host) State() (HostState, error) {
+	if h.cur != nil {
+		return HostState{}, fmt.Errorf("client: host %d has an in-flight request; capture at a quiescent point", h.id)
+	}
+	st := HostState{
+		ID:                h.id,
+		Connected:         h.connected,
+		Completed:         h.completed,
+		Seq:               h.seq,
+		Tau:               h.tau.State(),
+		ActivityGap:       h.activityGap.State(),
+		LastRequestAt:     h.lastRequestAt,
+		LastServerContact: h.lastServerContact,
+		Departures:        h.departures,
+		Cache:             h.cache.State(),
+	}
+	if len(h.tcg) > 0 {
+		st.TCG = make(map[network.NodeID]bool, len(h.tcg))
+		for id, v := range h.tcg {
+			st.TCG[id] = v
+		}
+	}
+	if h.ownSig != nil {
+		s := h.ownSig.State()
+		st.OwnSig = &s
+	}
+	if h.peerVec != nil {
+		s := h.peerVec.State()
+		st.PeerVec = &s
+	}
+	if len(h.haveSig) > 0 {
+		st.HaveSig = make(map[network.NodeID]bloom.FilterState, len(h.haveSig))
+		for id, f := range h.haveSig {
+			st.HaveSig[id] = f.State()
+		}
+	}
+	return st, nil
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 )
 
@@ -68,6 +69,11 @@ type Options struct {
 	// Progress, when set, receives a line per completed cell, always in
 	// canonical cell order and from the calling goroutine.
 	Progress func(string)
+	// Journal, when set, records every completed replication durably and
+	// makes the run crash-resumable: replications already journaled are
+	// loaded instead of re-executed, and the resumed output is
+	// byte-identical to an uninterrupted run (see internal/checkpoint).
+	Journal *checkpoint.Journal
 }
 
 // replications returns the effective per-cell replication count.
@@ -138,7 +144,11 @@ func (e Experiment) Run(opts Options) ([]Point, error) {
 			opts.Progress(line)
 		}
 	}
-	if err := Pool(len(cells), reps, opts.Workers, run, onCell); err != nil {
+	keyFor := func(ci, rep int) string {
+		c := cells[ci]
+		return fmt.Sprintf("done/%s/%d/%d/%d", e.ID, c.vi, int(schemes[c.si]), rep)
+	}
+	if err := PoolJournaled(len(cells), reps, opts.Workers, opts.Journal, keyFor, run, onCell); err != nil {
 		return nil, err
 	}
 	return points, nil
@@ -410,7 +420,10 @@ func RunAblations(opts Options) ([]Ablation, []core.Results, error) {
 			opts.Progress(line)
 		}
 	}
-	if err := Pool(len(abls), reps, opts.Workers, run, onCell); err != nil {
+	keyFor := func(ci, rep int) string {
+		return fmt.Sprintf("done/ablations/%d/%d/%d", ci, int(core.SchemeGroCoca), rep)
+	}
+	if err := PoolJournaled(len(abls), reps, opts.Workers, opts.Journal, keyFor, run, onCell); err != nil {
 		return nil, nil, err
 	}
 	return abls, results, nil

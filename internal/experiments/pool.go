@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -69,6 +70,44 @@ type cellResult[T any] struct {
 // returned after all workers drain. The sweep engine instantiates it with
 // core.Results; the chaos campaign runner with its audited cell results.
 func Pool[T any](cells, reps, workers int, run func(cell, rep int) (T, error), onCell func(cell int, rs []T)) error {
+	return PoolJournaled(cells, reps, workers, nil, nil, run, onCell)
+}
+
+// PoolJournaled is Pool with crash-resumable per-replication journaling:
+// when jr is non-nil, every error-free run is recorded durably under
+// keyFor(cell, rep) before the collector sees it, and a job whose key is
+// already journaled returns the recorded result instead of re-running.
+// Because cell order, seeds, and the collector are all deterministic, a
+// killed sweep resumed against the same journal produces byte-identical
+// output to one that was never interrupted.
+func PoolJournaled[T any](cells, reps, workers int, jr *checkpoint.Journal, keyFor func(cell, rep int) string, run func(cell, rep int) (T, error), onCell func(cell int, rs []T)) error {
+	if jr != nil && keyFor != nil {
+		inner := run
+		run = func(cell, rep int) (T, error) {
+			key := keyFor(cell, rep)
+			if payload, ok := jr.Lookup(key); ok {
+				var out T
+				if err := checkpoint.Unmarshal(payload, &out); err == nil {
+					return out, nil
+				}
+				// An undecodable record means the result shape changed
+				// under the same journal version; re-run the cell and
+				// supersede it.
+			}
+			out, err := inner(cell, rep)
+			if err != nil {
+				return out, err
+			}
+			payload, err := checkpoint.Marshal(out)
+			if err != nil {
+				return out, fmt.Errorf("journal %s: %w", key, err)
+			}
+			if err := jr.Append(key, payload); err != nil {
+				return out, err
+			}
+			return out, nil
+		}
+	}
 	if cells == 0 {
 		return nil
 	}
@@ -276,6 +315,14 @@ func meanInto(dst reflect.Value, samples []reflect.Value) {
 // the per-replication results in replication order and the aggregated
 // point (Results = mean, Spread = sample stddev).
 func Replicate(cfg core.Config, reps, workers int) ([]core.Results, Point, error) {
+	return ReplicateJournaled(cfg, reps, workers, nil)
+}
+
+// ReplicateJournaled is Replicate with crash-resumable journaling: with a
+// non-nil journal, completed replications are recorded durably and an
+// interrupted run resumed against the same journal re-executes only the
+// missing ones.
+func ReplicateJournaled(cfg core.Config, reps, workers int, jr *checkpoint.Journal) ([]core.Results, Point, error) {
 	if reps < 1 {
 		reps = 1
 	}
@@ -294,7 +341,10 @@ func Replicate(cfg core.Config, reps, workers int) ([]core.Results, Point, error
 		copy(all, rs)
 		point = aggregate(0, cfg.Scheme, rs)
 	}
-	if err := Pool(1, reps, workers, run, onCell); err != nil {
+	keyFor := func(_, rep int) string {
+		return fmt.Sprintf("done/replicate/0/%d/%d", int(cfg.Scheme), rep)
+	}
+	if err := PoolJournaled(1, reps, workers, jr, keyFor, run, onCell); err != nil {
 		return nil, Point{}, err
 	}
 	return all, point, nil

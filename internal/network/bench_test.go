@@ -1,0 +1,49 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/sim"
+)
+
+// benchPeer is a stationary always-connected peer whose Receive is a no-op,
+// so the benchmark measures the medium, not inbox bookkeeping.
+type benchPeer struct {
+	id  NodeID
+	pos geo.Point
+}
+
+func (p *benchPeer) ID() NodeID                       { return p.id }
+func (p *benchPeer) Position(time.Duration) geo.Point { return p.pos }
+func (p *benchPeer) Connected() bool                  { return true }
+func (p *benchPeer) Receive(Message)                  {}
+
+// BenchmarkMediumTransmit measures the full transmission path — NIC
+// occupancy, completion-time range evaluation against every registered
+// peer, per-receiver energy accounting, delivery — for one point-to-point
+// send plus one broadcast across a 20-peer neighborhood. The derived
+// events/sec figure is the medium-throughput entry of BENCH_seed.json.
+func BenchmarkMediumTransmit(b *testing.B) {
+	k := sim.NewKernel()
+	m, err := NewMedium(k, MediumConfig{BandwidthKbps: 800, RangeM: 100, Power: DefaultPowerModel()}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		if err := m.Register(&benchPeer{id: NodeID(i), pos: geo.Point{X: float64(i * 7), Y: 0}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := NodeID(i % n)
+		m.Send(Message{Kind: KindRequest, From: src, To: NodeID((i + 1) % n), Size: RequestSize})
+		m.Broadcast(Message{Kind: KindBeacon, From: src, Size: BeaconSize})
+		for k.Step() {
+		}
+	}
+}

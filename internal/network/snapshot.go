@@ -1,0 +1,80 @@
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Serializable fault-plan state for the checkpoint layer
+// (internal/checkpoint): the plan's config, each channel's RNG stream
+// position and burst-chain state, and the per-host crash streams. A
+// restored plan replays the identical fault sequence.
+
+// ChannelFaultState is one channel's loss-model runtime state.
+type ChannelFaultState struct {
+	RNG sim.RNGState
+	Bad bool
+}
+
+// FaultPlanState is a serializable fault plan image.
+type FaultPlanState struct {
+	Config  FaultPlanConfig
+	P2P     ChannelFaultState
+	Uplink  ChannelFaultState
+	Down    ChannelFaultState
+	Crashes sim.RNGState
+	PerHost map[NodeID]sim.RNGState
+}
+
+// State captures the plan.
+func (p *FaultPlan) State() FaultPlanState {
+	st := FaultPlanState{
+		Config:  p.cfg,
+		P2P:     ChannelFaultState{RNG: p.p2p.rng.State(), Bad: p.p2p.bad},
+		Uplink:  ChannelFaultState{RNG: p.up.rng.State(), Bad: p.up.bad},
+		Down:    ChannelFaultState{RNG: p.down.rng.State(), Bad: p.down.bad},
+		Crashes: p.crashes.State(),
+	}
+	if len(p.perHost) > 0 {
+		// Sorted iteration: State() reads the draw counter without consuming
+		// the stream, but capture order stays deterministic regardless.
+		ids := make([]NodeID, 0, len(p.perHost))
+		for id := range p.perHost {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		st.PerHost = make(map[NodeID]sim.RNGState, len(ids))
+		for _, id := range ids {
+			st.PerHost[id] = p.perHost[id].State()
+		}
+	}
+	return st
+}
+
+// RestoreFaultPlan rebuilds a plan at the captured stream positions.
+func RestoreFaultPlan(st FaultPlanState) (*FaultPlan, error) {
+	p := &FaultPlan{
+		cfg:     st.Config,
+		p2p:     channelState{cfg: st.Config.P2P, rng: sim.RestoreRNG(st.P2P.RNG), bad: st.P2P.Bad},
+		up:      channelState{cfg: st.Config.Uplink, rng: sim.RestoreRNG(st.Uplink.RNG), bad: st.Uplink.Bad},
+		down:    channelState{cfg: st.Config.Downlink, rng: sim.RestoreRNG(st.Down.RNG), bad: st.Down.Bad},
+		crashes: sim.RestoreRNG(st.Crashes),
+		perHost: make(map[NodeID]*sim.RNG, len(st.PerHost)),
+	}
+	if err := st.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("network: restore fault plan: %w", err)
+	}
+	// Sorted for a deterministic rebuild order (restore itself consumes no
+	// randomness, but keep diagnostics reproducible).
+	ids := make([]NodeID, 0, len(st.PerHost))
+	for id := range st.PerHost {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p.perHost[id] = sim.RestoreRNG(st.PerHost[id])
+	}
+	return p, nil
+}

@@ -1,0 +1,144 @@
+package server
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Serializable state types for the checkpoint layer (internal/checkpoint):
+// the MSS catalog (per-item TTL estimators and demand counters) and the
+// TCG manager's full matrices (access counts, similarity dot products,
+// WADM, membership, pending view changes).
+
+// CatalogItemState is one item's consistency state.
+type CatalogItemState struct {
+	LastUpdate time.Duration
+	Interval   stats.EWMAState
+}
+
+// CatalogState is a serializable catalog image.
+type CatalogState struct {
+	ItemSize int
+	Alpha    float64
+	Updates  uint64
+	Items    []CatalogItemState
+	Demand   []uint64
+}
+
+// State captures the catalog.
+func (c *Catalog) State() CatalogState {
+	st := CatalogState{
+		ItemSize: c.itemSize,
+		Alpha:    c.alpha,
+		Updates:  c.updates,
+		Items:    make([]CatalogItemState, len(c.items)),
+		Demand:   make([]uint64, len(c.demand)),
+	}
+	for i := range c.items {
+		st.Items[i] = CatalogItemState{
+			LastUpdate: c.items[i].lastUpdate,
+			Interval:   c.items[i].interval.State(),
+		}
+	}
+	copy(st.Demand, c.demand)
+	return st
+}
+
+// RestoreCatalog rebuilds a catalog from captured state on the given
+// kernel.
+func RestoreCatalog(k *sim.Kernel, st CatalogState) (*Catalog, error) {
+	c, err := NewCatalog(k, len(st.Items), st.ItemSize, st.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Demand) != len(st.Items) {
+		return nil, fmt.Errorf("server: catalog state has %d demand counters for %d items", len(st.Demand), len(st.Items))
+	}
+	for i := range st.Items {
+		c.items[i].lastUpdate = st.Items[i].LastUpdate
+		c.items[i].interval = stats.RestoreEWMA(st.Items[i].Interval)
+	}
+	copy(c.demand, st.Demand)
+	c.updates = st.Updates
+	return c, nil
+}
+
+// TCGState is a serializable TCG manager image: every matrix the discovery
+// algorithms maintain.
+type TCGState struct {
+	Cfg        TCGConfig
+	NumClients int
+	NData      int
+	Counts     [][]uint32
+	Norms      []float64
+	Dots       []float64
+	WADM       []stats.EWMAState
+	LastLoc    []geo.Point
+	LocKnown   []bool
+	Member     []bool
+	Pending    [][]MembershipChange
+}
+
+// State captures the manager.
+func (m *TCGManager) State() TCGState {
+	st := TCGState{
+		Cfg:        m.cfg,
+		NumClients: m.numClients,
+		NData:      m.nData,
+		Counts:     make([][]uint32, len(m.counts)),
+		Norms:      append([]float64(nil), m.norms...),
+		Dots:       append([]float64(nil), m.dots...),
+		WADM:       make([]stats.EWMAState, len(m.wadm)),
+		LastLoc:    append([]geo.Point(nil), m.lastLoc...),
+		LocKnown:   append([]bool(nil), m.locKnown...),
+		Member:     append([]bool(nil), m.member...),
+		Pending:    make([][]MembershipChange, len(m.pending)),
+	}
+	for i := range m.counts {
+		st.Counts[i] = append([]uint32(nil), m.counts[i]...)
+	}
+	for i := range m.wadm {
+		st.WADM[i] = m.wadm[i].State()
+	}
+	for i := range m.pending {
+		st.Pending[i] = append([]MembershipChange(nil), m.pending[i]...)
+	}
+	return st
+}
+
+// RestoreTCGManager rebuilds a manager from captured state.
+func RestoreTCGManager(st TCGState) (*TCGManager, error) {
+	m, err := NewTCGManager(st.NumClients, st.NData, st.Cfg)
+	if err != nil {
+		return nil, err
+	}
+	pairs := st.NumClients * (st.NumClients - 1) / 2
+	if len(st.Counts) != st.NumClients || len(st.Norms) != st.NumClients ||
+		len(st.Dots) != pairs || len(st.WADM) != pairs || len(st.Member) != pairs ||
+		len(st.LastLoc) != st.NumClients || len(st.LocKnown) != st.NumClients ||
+		len(st.Pending) != st.NumClients {
+		return nil, fmt.Errorf("server: TCG state dimensions inconsistent with %d clients", st.NumClients)
+	}
+	for i := range st.Counts {
+		if len(st.Counts[i]) != st.NData {
+			return nil, fmt.Errorf("server: TCG state counts row %d has %d items, want %d", i, len(st.Counts[i]), st.NData)
+		}
+		copy(m.counts[i], st.Counts[i])
+	}
+	copy(m.norms, st.Norms)
+	copy(m.dots, st.Dots)
+	for i := range st.WADM {
+		m.wadm[i] = stats.RestoreEWMA(st.WADM[i])
+	}
+	copy(m.lastLoc, st.LastLoc)
+	copy(m.locKnown, st.LocKnown)
+	copy(m.member, st.Member)
+	for i := range st.Pending {
+		m.pending[i] = append([]MembershipChange(nil), st.Pending[i]...)
+	}
+	return m, nil
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// This file is the kernel-level half of the checkpoint/restore layer (see
+// internal/checkpoint and DESIGN.md "Checkpoint format & compatibility").
+// A kernel is snapshottable when every pending event was scheduled with a
+// restore key (ScheduleKeyed/AtKeyed): the snapshot records (time, seq,
+// key) per event and a resolver maps keys back to callbacks on restore.
+// Events scheduled as plain closures cannot be serialized — Snapshot
+// reports them as an error instead of silently dropping model state.
+
+// EventState is one pending event in a kernel snapshot.
+type EventState struct {
+	// At and Seq reproduce the event's (time, sequence) heap position, so
+	// restored ties fire in the original order.
+	At  time.Duration
+	Seq uint64
+	// Key names the callback for the restore resolver.
+	Key string
+}
+
+// KernelState is a serializable kernel snapshot.
+type KernelState struct {
+	Now       time.Duration
+	Seq       uint64
+	Processed uint64
+	// Events holds the pending (uncancelled) events in (time, seq) order.
+	Events []EventState
+}
+
+// Snapshot captures the kernel's clock, sequence counter, and pending
+// event queue. Cancelled events are dropped (they can never fire); a
+// pending event without a restore key is an error, because restoring it
+// would require serializing a closure.
+func (k *Kernel) Snapshot() (KernelState, error) {
+	st := KernelState{Now: k.now, Seq: k.seq, Processed: k.processed}
+	for _, ev := range k.events {
+		if ev.canceled {
+			continue
+		}
+		if ev.key == "" {
+			return KernelState{}, fmt.Errorf("sim: pending event at %v (seq %d) has no restore key; schedule checkpointable events with ScheduleKeyed", ev.at, ev.seq)
+		}
+		st.Events = append(st.Events, EventState{At: ev.at, Seq: ev.seq, Key: ev.key})
+	}
+	sort.Slice(st.Events, func(i, j int) bool {
+		if st.Events[i].At != st.Events[j].At {
+			return st.Events[i].At < st.Events[j].At
+		}
+		return st.Events[i].Seq < st.Events[j].Seq
+	})
+	return st, nil
+}
+
+// RestoreKernel rebuilds a kernel from a snapshot. resolve maps each
+// event's restore key to its callback; an unresolvable key is an error.
+// The restored kernel continues the original (time, seq) order exactly:
+// restore-then-run is byte-identical to an uninterrupted run.
+func RestoreKernel(st KernelState, resolve func(key string) func()) (*Kernel, error) {
+	k := &Kernel{now: st.Now, seq: st.Seq, processed: st.Processed}
+	for _, es := range st.Events {
+		if es.Seq > st.Seq {
+			return nil, fmt.Errorf("sim: event seq %d exceeds kernel seq %d (corrupt snapshot)", es.Seq, st.Seq)
+		}
+		fn := resolve(es.Key)
+		if fn == nil {
+			return nil, fmt.Errorf("sim: no handler for restore key %q", es.Key)
+		}
+		ev := &Event{at: es.At, seq: es.Seq, fn: fn, key: es.Key, index: len(k.events)}
+		k.events = append(k.events, ev)
+	}
+	// Events arrive in (time, seq) order, which is already a valid min-heap
+	// ordering, but heap-ify defensively against hand-built snapshots.
+	for i := len(k.events)/2 - 1; i >= 0; i-- {
+		siftDown(k.events, i)
+	}
+	return k, nil
+}
+
+// siftDown restores the heap property below node i.
+func siftDown(h eventHeap, i int) {
+	n := len(h)
+	for {
+		left, right := 2*i+1, 2*i+2
+		smallest := i
+		if left < n && h.Less(left, smallest) {
+			smallest = left
+		}
+		if right < n && h.Less(right, smallest) {
+			smallest = right
+		}
+		if smallest == i {
+			return
+		}
+		h.Swap(i, smallest)
+		i = smallest
+	}
+}
+
+// RNGState is a serializable generator position: the root seed plus the
+// number of state advances consumed. Restoring replays the seed and burns
+// the same number of draws, which reproduces the stream position exactly
+// (the stdlib generator advances one step per draw).
+type RNGState struct {
+	Seed  int64
+	Draws uint64
+}
+
+// State captures the generator's seed and stream position.
+func (g *RNG) State() RNGState {
+	return RNGState{Seed: g.seed, Draws: g.src.draws}
+}
+
+// RestoreRNG rebuilds a generator at a recorded stream position.
+func RestoreRNG(st RNGState) *RNG {
+	g := NewRNG(st.Seed)
+	for i := uint64(0); i < st.Draws; i++ {
+		g.src.src.Int63()
+	}
+	g.src.draws = st.Draws
+	return g
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestKernelSnapshotEmptyQueue round-trips a kernel with no pending
+// events: the clock and counters survive and the restored kernel runs.
+func TestKernelSnapshotEmptyQueue(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(time.Second, func() {})
+	if err := k.Run(2 * time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	st, err := k.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if len(st.Events) != 0 {
+		t.Fatalf("expected empty event list, got %d", len(st.Events))
+	}
+	r, err := RestoreKernel(st, func(string) func() { return nil })
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if r.Now() != k.Now() || r.Processed() != k.Processed() {
+		t.Fatalf("restored clock/counters diverge: now %v/%v processed %d/%d",
+			r.Now(), k.Now(), r.Processed(), k.Processed())
+	}
+	fired := false
+	r.ScheduleKeyed("tick", time.Second, func() { fired = true })
+	if err := r.Run(5 * time.Second); err != nil {
+		t.Fatalf("restored run: %v", err)
+	}
+	if !fired {
+		t.Fatal("restored kernel did not fire a newly scheduled event")
+	}
+}
+
+// TestKernelSnapshotTieOrder restores pending same-time events and checks
+// they fire in the original (time, seq) order.
+func TestKernelSnapshotTieOrder(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	mk := func(name string) func() { return func() { order = append(order, name) } }
+	// Three ties at t=1s scheduled in a specific order, plus an earlier
+	// and a later event.
+	k.ScheduleKeyed("b", time.Second, mk("b"))
+	k.ScheduleKeyed("c", time.Second, mk("c"))
+	k.ScheduleKeyed("a", 500*time.Millisecond, mk("a"))
+	k.ScheduleKeyed("d", time.Second, mk("d"))
+	k.ScheduleKeyed("e", 2*time.Second, mk("e"))
+
+	st, err := k.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot: %v", err)
+	}
+	handlers := map[string]func(){}
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		handlers[name] = mk(name)
+	}
+	r, err := RestoreKernel(st, func(key string) func() { return handlers[key] })
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+
+	if err := k.Run(3 * time.Second); err != nil {
+		t.Fatalf("original run: %v", err)
+	}
+	want := append([]string(nil), order...)
+	order = nil
+	if err := r.Run(3 * time.Second); err != nil {
+		t.Fatalf("restored run: %v", err)
+	}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("restored firing order %v, original %v", order, want)
+	}
+	if want[0] != "a" || !reflect.DeepEqual(want[1:4], []string{"b", "c", "d"}) {
+		t.Fatalf("original order itself unexpected: %v", want)
+	}
+}
+
+// TestKernelSnapshotUnkeyedEventRejected: a pending closure without a
+// restore key must fail the snapshot rather than silently drop state.
+func TestKernelSnapshotUnkeyedEventRejected(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(time.Second, func() {})
+	if _, err := k.Snapshot(); err == nil {
+		t.Fatal("snapshot of an unkeyed pending event did not fail")
+	}
+	// A cancelled unkeyed event can never fire and must not block the
+	// snapshot.
+	k2 := NewKernel()
+	ev := k2.Schedule(time.Second, func() {})
+	ev.Cancel()
+	if _, err := k2.Snapshot(); err != nil {
+		t.Fatalf("snapshot with only a cancelled unkeyed event failed: %v", err)
+	}
+}
+
+// TestRNGStateRoundTrip: a generator restored from (seed, draws) must
+// continue the exact stream, across every draw kind the model uses.
+func TestRNGStateRoundTrip(t *testing.T) {
+	g := NewRNG(42)
+	// Consume a mixed prefix, including rejection-sampling draws (Intn)
+	// and multi-draw helpers (Perm, Exp).
+	for i := 0; i < 50; i++ {
+		g.Float64()
+		g.Intn(7)
+		g.Exp(3 * time.Second)
+		g.Perm(5)
+		g.UniformDuration(time.Second, 9*time.Second)
+		g.Bool(0.3)
+	}
+	st := g.State()
+	r := RestoreRNG(st)
+	if r.State() != st {
+		t.Fatalf("restored state %+v, want %+v", r.State(), st)
+	}
+	for i := 0; i < 200; i++ {
+		if a, b := g.Int63(), r.Int63(); a != b {
+			t.Fatalf("stream diverged at draw %d: %d vs %d", i, a, b)
+		}
+		if a, b := g.Float64(), r.Float64(); a != b {
+			t.Fatalf("float stream diverged at draw %d: %v vs %v", i, a, b)
+		}
+		if a, b := g.Intn(1000), r.Intn(1000); a != b {
+			t.Fatalf("intn stream diverged at draw %d: %d vs %d", i, a, b)
+		}
+	}
+	// Derived streams are positioned independently of the parent.
+	sa, sb := g.Stream("x"), r.Stream("x")
+	for i := 0; i < 50; i++ {
+		if a, b := sa.Int63(), sb.Int63(); a != b {
+			t.Fatalf("derived stream diverged at draw %d", i)
+		}
+	}
+}
+
+// TestKernelRestoreThenRunByteIdentical runs a small keyed-event model to
+// completion, and separately snapshots it mid-run, restores, and finishes:
+// the trace of (time, event, rng draw) tuples must be byte-identical.
+func TestKernelRestoreThenRunByteIdentical(t *testing.T) {
+	type model struct {
+		k     *Kernel
+		rng   *RNG
+		trace []string
+	}
+	// The model reschedules itself with a keyed handler and consumes
+	// randomness, so both the event queue and the RNG position matter.
+	arm := func(m *model, name string, period time.Duration) func() {
+		var fn func()
+		fn = func() {
+			m.trace = append(m.trace, fmt.Sprintf("%s@%v:%d", name, m.k.Now(), m.rng.Intn(1000)))
+			m.k.ScheduleKeyed(name, period, fn)
+		}
+		return fn
+	}
+	build := func() (*model, map[string]func()) {
+		m := &model{k: NewKernel(), rng: NewRNG(7)}
+		handlers := map[string]func(){
+			"fast": arm(m, "fast", 300*time.Millisecond),
+			"slow": arm(m, "slow", 700*time.Millisecond),
+		}
+		return m, handlers
+	}
+
+	// Uninterrupted reference run.
+	ref, refH := build()
+	ref.k.ScheduleKeyed("fast", 0, refH["fast"])
+	ref.k.ScheduleKeyed("slow", 0, refH["slow"])
+	if err := ref.k.Run(10 * time.Second); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+
+	// Interrupted run: pause at 3 kill points, snapshot, restore into a
+	// fresh model, and continue from there each time.
+	for _, killAt := range []time.Duration{time.Second, 3200 * time.Millisecond, 7 * time.Second} {
+		m, h := build()
+		m.k.ScheduleKeyed("fast", 0, h["fast"])
+		m.k.ScheduleKeyed("slow", 0, h["slow"])
+		if err := m.k.Run(killAt); err != nil {
+			t.Fatalf("prefix run: %v", err)
+		}
+		kst, err := m.k.Snapshot()
+		if err != nil {
+			t.Fatalf("kill at %v: snapshot: %v", killAt, err)
+		}
+		rst := m.rng.State()
+
+		// The real handlers need the restored kernel, which doesn't exist
+		// until RestoreKernel returns — resolve through a late-bound map.
+		m2 := &model{rng: RestoreRNG(rst), trace: append([]string(nil), m.trace...)}
+		realized := map[string]func(){}
+		k2, err := RestoreKernel(kst, func(key string) func() {
+			return func() { realized[key]() }
+		})
+		if err != nil {
+			t.Fatalf("kill at %v: restore: %v", killAt, err)
+		}
+		m2.k = k2
+		realized["fast"] = arm(m2, "fast", 300*time.Millisecond)
+		realized["slow"] = arm(m2, "slow", 700*time.Millisecond)
+		if err := m2.k.Run(10 * time.Second); err != nil {
+			t.Fatalf("kill at %v: resumed run: %v", killAt, err)
+		}
+		if !reflect.DeepEqual(m2.trace, ref.trace) {
+			t.Fatalf("kill at %v: resumed trace diverges from uninterrupted run\nresumed: %v\nref:     %v",
+				killAt, m2.trace, ref.trace)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package stats
+
+// Serializable state types for the checkpoint layer (internal/checkpoint).
+// Each mirrors its accumulator exactly, so restore reproduces the identical
+// future sample-for-sample.
+
+// WelfordState is a serializable Welford accumulator.
+type WelfordState struct {
+	N    uint64
+	Mean float64
+	M2   float64
+}
+
+// State captures the accumulator.
+func (w Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2}
+}
+
+// RestoreWelford rebuilds an accumulator from captured state.
+func RestoreWelford(st WelfordState) Welford {
+	return Welford{n: st.N, mean: st.Mean, m2: st.M2}
+}
+
+// EWMAState is a serializable EWMA.
+type EWMAState struct {
+	Weight float64
+	Value  float64
+	Set    bool
+}
+
+// State captures the average.
+func (e EWMA) State() EWMAState {
+	return EWMAState{Weight: e.weight, Value: e.value, Set: e.set}
+}
+
+// RestoreEWMA rebuilds an average from captured state.
+func RestoreEWMA(st EWMAState) EWMA {
+	return EWMA{weight: st.Weight, value: st.Value, set: st.Set}
+}
