@@ -1,6 +1,15 @@
 GO ?= go
 
-.PHONY: tier1 vet build lint test race short bench race-runner sweep-smoke chaos-smoke bench-baseline resume-smoke
+## Hot-path benchmark selection and baseline artifact for bench-baseline /
+## bench-check. BENCH_OUT lets a PR snapshot its own baseline (e.g.
+## `make bench-baseline BENCH_OUT=BENCH_pr7.json`) without touching the
+## committed one; BENCH_BASE is what bench-check gates against.
+BENCH_PATTERN = KernelScheduleRun|MediumTransmit|FilterAdd|FilterTest|PeerVectorCovers|BenchmarkNeighbors|BenchmarkBroadcast
+BENCH_PKGS = ./internal/sim/ ./internal/network/ ./internal/bloom/
+BENCH_OUT ?= BENCH_seed.json
+BENCH_BASE ?= BENCH_pr7.json
+
+.PHONY: tier1 vet build lint test race short bench race-runner sweep-smoke chaos-smoke bench-baseline bench-check fuzz-smoke resume-smoke
 
 ## tier1: the gate every change must pass — vet, build, the determinism
 ## lint suite, tests with the race detector.
@@ -59,12 +68,25 @@ chaos-smoke:
 	fi
 	@echo "chaos-smoke ok: campaigns clean, output worker-count-identical, self-test bug caught"
 
-## bench-baseline: regenerate BENCH_seed.json, the committed hot-path
-## baseline — kernel dispatch, medium transmission, bloom-filter ops — as
-## ops/sec and allocs/op, so PRs can review performance drift against it.
+## bench-baseline: regenerate $(BENCH_OUT) (default BENCH_seed.json), the
+## committed hot-path baseline — kernel dispatch, medium transmission and
+## spatial-index reachability (grid vs brute at N=100/1k/10k), bloom-filter
+## ops — as ops/sec and allocs/op, so PRs can review performance drift.
 bench-baseline:
-	$(GO) test -run '^$$' -bench 'KernelScheduleRun|MediumTransmit|FilterAdd|FilterTest|PeerVectorCovers' -benchmem ./internal/sim/ ./internal/network/ ./internal/bloom/ | $(GO) run ./cmd/grococa-benchjson > BENCH_seed.json
-	@echo "bench-baseline: wrote BENCH_seed.json"
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/grococa-benchjson > $(BENCH_OUT)
+	@echo "bench-baseline: wrote $(BENCH_OUT)"
+
+## bench-check: rerun the hot-path benchmarks and gate them against the
+## committed $(BENCH_BASE): any benchmark whose ops/sec dropped more than
+## 30% fails. Benchmarks on only one side are informational.
+bench-check:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/grococa-benchjson -compare $(BENCH_BASE) -max-regress 0.30
+
+## fuzz-smoke: a short native-fuzzing pass over the spatial index — the
+## grid-vs-brute-force equivalence oracle under fuzzer-chosen geometry
+## (NaN, infinities, cell-boundary and int32-overflow coordinates).
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzGridQuery -fuzztime 30s ./internal/geo/
 
 ## resume-smoke: crash-resume proven end to end with real SIGKILLs.
 ## Leg 1: a sweep is run to a golden CSV, rerun with journaling and

@@ -222,3 +222,23 @@ func BenchmarkExtServiceArea(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSpatialIndexAblation runs the same full GroCoca simulation with
+// the medium's uniform-grid spatial index (the default) and with the
+// pairwise O(N²) reachability scans it replaced. The two cells report
+// identical figure metrics — the index is observationally invisible, which
+// the index-equivalence tests enforce — so the only difference on display
+// is wall-clock time per simulated run.
+func BenchmarkSpatialIndexAblation(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		brute bool
+	}{{"grid", false}, {"brute", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := benchConfig(core.SchemeGroCoca)
+			cfg.NumClients = 60
+			cfg.BruteForceReachability = mode.brute
+			runCell(b, cfg)
+		})
+	}
+}

@@ -45,6 +45,7 @@ func run(args []string) error {
 	reps := fs.Int("reps", 1, "replications per sweep cell (deterministically derived seeds; > 1 adds mean±sd columns)")
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS); output is identical for any value")
 	tiny := fs.Bool("tiny", false, "shrink the scenario for smoke runs (8 clients, 400 items)")
+	brute := fs.Bool("brute", false, "disable the medium's spatial index and use pairwise O(N^2) reachability scans (A/B verification; results are byte-identical)")
 	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
 	csv := fs.Bool("csv", false, "emit CSV rows instead of aligned tables")
 	resume := fs.String("resume", "", "journal completed cells in this directory and resume an interrupted run from it (output stays byte-identical)")
@@ -83,6 +84,13 @@ func run(args []string) error {
 			opts.MeasuredRequests = 8
 		}
 	}
+	if *brute {
+		if opts.Base == nil {
+			base := core.DefaultConfig()
+			opts.Base = &base
+		}
+		opts.Base.BruteForceReachability = true
+	}
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
@@ -90,8 +98,8 @@ func run(args []string) error {
 		// The meta record binds the journal to every flag that shapes the
 		// result set, so a resume with different parameters is refused
 		// instead of silently mixing runs.
-		meta := fmt.Sprintf("grococa-bench exp=%s seed=%d warmup=%d requests=%d reps=%d tiny=%v",
-			*exp, *seed, *warmup, *requests, *reps, *tiny)
+		meta := fmt.Sprintf("grococa-bench exp=%s seed=%d warmup=%d requests=%d reps=%d tiny=%v brute=%v",
+			*exp, *seed, *warmup, *requests, *reps, *tiny, *brute)
 		jr, err := checkpoint.OpenJournal(*resume, []byte(meta))
 		if err != nil {
 			return err

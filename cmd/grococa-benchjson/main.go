@@ -8,11 +8,22 @@
 // Example:
 //
 //	go test -run '^$' -bench . -benchmem ./internal/sim/ | grococa-benchjson
+//
+// With -compare, the tool becomes a regression gate instead of a converter:
+// fresh `go test -bench` output on stdin is compared against a committed
+// baseline, and any benchmark present in both whose ops/sec dropped by more
+// than -max-regress (fractional, default 0.30) fails the run. Benchmarks
+// that exist on only one side are reported but never fail the gate, so
+// adding a benchmark does not require regenerating every baseline.
+//
+//	go test -run '^$' -bench . -benchmem ./internal/network/ | \
+//	    grococa-benchjson -compare BENCH_seed.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -46,7 +57,16 @@ type Baseline struct {
 }
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	compare := flag.String("compare", "", "baseline JSON to gate against instead of emitting JSON")
+	maxRegress := flag.Float64("max-regress", 0.30, "maximum tolerated fractional ops/sec drop vs the baseline")
+	flag.Parse()
+	var err error
+	if *compare != "" {
+		err = runCompare(os.Stdin, os.Stdout, *compare, *maxRegress)
+	} else {
+		err = run(os.Stdin, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "grococa-benchjson:", err)
 		os.Exit(1)
 	}
@@ -64,6 +84,76 @@ func run(in io.Reader, out io.Writer) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(Baseline{Format: 1, Benchmarks: benches})
+}
+
+// runCompare parses fresh bench output on in and gates its ops/sec rates
+// against the baseline file: a drop beyond maxRegress on any benchmark
+// present in both is an error. One line per compared benchmark goes to out.
+func runCompare(in io.Reader, out io.Writer, baselinePath string, maxRegress float64) error {
+	if maxRegress < 0 {
+		return fmt.Errorf("-max-regress %v must be non-negative", maxRegress)
+	}
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", baselinePath, err)
+	}
+	fresh, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(fresh) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin (want `go test -bench` output)")
+	}
+	baseBy := make(map[string]Benchmark, len(base.Benchmarks))
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].Name < fresh[j].Name })
+
+	var failures []string
+	compared := 0
+	for _, cur := range fresh {
+		ref, ok := baseBy[cur.Name]
+		if !ok {
+			_, _ = fmt.Fprintf(out, "  new   %-60s %12.0f ops/sec (not in baseline, informational)\n", cur.Name, cur.OpsPerSec)
+			continue
+		}
+		delete(baseBy, cur.Name)
+		if ref.OpsPerSec <= 0 {
+			continue
+		}
+		compared++
+		change := cur.OpsPerSec/ref.OpsPerSec - 1
+		status := "ok"
+		if change < -maxRegress {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.0f -> %.0f ops/sec (%+.1f%%, limit -%.0f%%)",
+				cur.Name, ref.OpsPerSec, cur.OpsPerSec, 100*change, 100*maxRegress))
+		}
+		_, _ = fmt.Fprintf(out, "  %-5s %-60s %12.0f -> %12.0f ops/sec (%+.1f%%)\n",
+			status, cur.Name, ref.OpsPerSec, cur.OpsPerSec, 100*change)
+	}
+	var gone []string
+	for name := range baseBy {
+		gone = append(gone, name)
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		_, _ = fmt.Fprintf(out, "  gone  %-60s (in baseline, not on stdin, informational)\n", name)
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmark on stdin matched the baseline %s", baselinePath)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%:\n  %s",
+			len(failures), 100*maxRegress, strings.Join(failures, "\n  "))
+	}
+	_, _ = fmt.Fprintf(out, "bench-compare ok: %d benchmark(s) within %.0f%% of %s\n", compared, 100*maxRegress, baselinePath)
+	return nil
 }
 
 // parse walks the benchmark output, tracking `pkg:` headers to qualify

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -62,6 +63,80 @@ func TestRunDeterministic(t *testing.T) {
 	}
 	if a.String() != b.String() {
 		t.Error("output differs across identical inputs")
+	}
+}
+
+// writeBaseline converts sample bench output to a baseline file on disk.
+func writeBaseline(t *testing.T, sample string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/baseline.json"
+	if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWithinToleranceOK(t *testing.T) {
+	path := writeBaseline(t, sampleBench)
+	// 20% slower kernel dispatch: inside the 30% gate.
+	fresh := strings.ReplaceAll(sampleBench, "250.0 ns/op", "312.5 ns/op")
+	var out bytes.Buffer
+	if err := runCompare(strings.NewReader(fresh), &out, path, 0.30); err != nil {
+		t.Fatalf("within-tolerance run failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "bench-compare ok: 3 benchmark(s)") {
+		t.Errorf("summary missing:\n%s", out.String())
+	}
+}
+
+func TestCompareFailsOnRegression(t *testing.T) {
+	path := writeBaseline(t, sampleBench)
+	// Kernel dispatch 2x slower: 50% ops/sec drop, beyond the 30% gate.
+	fresh := strings.ReplaceAll(sampleBench, "250.0 ns/op", "500.0 ns/op")
+	var out bytes.Buffer
+	err := runCompare(strings.NewReader(fresh), &out, path, 0.30)
+	if err == nil {
+		t.Fatalf("50%% regression passed the 30%% gate:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkKernelScheduleRun") {
+		t.Errorf("failure does not name the regressed benchmark: %v", err)
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("per-benchmark FAIL line missing:\n%s", out.String())
+	}
+}
+
+func TestCompareNewAndGoneAreInformational(t *testing.T) {
+	path := writeBaseline(t, sampleBench)
+	// Fresh output drops the bloom benchmark and adds a new one.
+	fresh := strings.ReplaceAll(sampleBench,
+		"BenchmarkFilterAdd-8           	10000000	       100.0 ns/op	       0 B/op	       0 allocs/op",
+		"BenchmarkFilterNew-8           	10000000	       100.0 ns/op	       0 B/op	       0 allocs/op")
+	var out bytes.Buffer
+	if err := runCompare(strings.NewReader(fresh), &out, path, 0.30); err != nil {
+		t.Fatalf("new/gone benchmarks failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "new") || !strings.Contains(out.String(), "gone") {
+		t.Errorf("new/gone lines missing:\n%s", out.String())
+	}
+}
+
+func TestCompareRejectsDisjointAndBadInputs(t *testing.T) {
+	path := writeBaseline(t, sampleBench)
+	if err := runCompare(strings.NewReader(sampleBench), &bytes.Buffer{}, path, -1); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+	if err := runCompare(strings.NewReader(sampleBench), &bytes.Buffer{}, t.TempDir()+"/missing.json", 0.3); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	// No overlap at all: the gate must refuse rather than vacuously pass.
+	other := "pkg: repro/other\nBenchmarkElsewhere-8 1000 10.0 ns/op\n"
+	if err := runCompare(strings.NewReader(other), &bytes.Buffer{}, path, 0.3); err == nil {
+		t.Error("disjoint benchmark sets passed the gate")
 	}
 }
 

@@ -381,6 +381,7 @@ func (h *Host) crash() {
 	}
 	h.collector.crashes++
 	h.connected = false
+	h.medium.ConnectivityChanged(h.id)
 	if h.ndp != nil {
 		h.ndp.Stop()
 	}
@@ -410,6 +411,7 @@ func (h *Host) crash() {
 // whose think timer the crash cancelled, if any.
 func (h *Host) recoverFromCrash() {
 	h.connected = true
+	h.medium.ConnectivityChanged(h.id)
 	if h.ndp != nil {
 		h.ndp.Start()
 	}
@@ -428,6 +430,7 @@ func (h *Host) recoverFromCrash() {
 // disconnect takes the host off the air and schedules its reconnection.
 func (h *Host) disconnect() {
 	h.connected = false
+	h.medium.ConnectivityChanged(h.id)
 	if h.ndp != nil {
 		h.ndp.Stop()
 	}
@@ -439,6 +442,7 @@ func (h *Host) disconnect() {
 // disconnection handling protocol of Section IV.D.5.
 func (h *Host) reconnect() {
 	h.connected = true
+	h.medium.ConnectivityChanged(h.id)
 	if h.ndp != nil {
 		h.ndp.Start()
 	}

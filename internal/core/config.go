@@ -205,6 +205,12 @@ type Config struct {
 	DisableAdmission   bool
 	DisableCoopReplace bool
 	DisableCompression bool
+
+	// BruteForceReachability disables the medium's uniform-grid spatial
+	// index, restoring the O(N) pairwise reachability scans. Results are
+	// byte-identical either way (enforced by the index-equivalence
+	// tests); the flag exists for A/B verification and benchmarking.
+	BruteForceReachability bool
 }
 
 // DefaultConfig returns the Table II defaults (illegible entries chosen as

@@ -42,6 +42,7 @@ func New(cfg Config) (*Simulation, error) {
 		BandwidthKbps: cfg.P2PBandwidthKbps,
 		RangeM:        cfg.TranRange,
 		Power:         cfg.Power,
+		BruteForce:    cfg.BruteForceReachability,
 	}, meter)
 	if err != nil {
 		return nil, fmt.Errorf("core: medium: %w", err)

@@ -1,0 +1,47 @@
+package integration
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSpatialIndexEquivalence is the PR-7 index-equivalence guard: for every
+// scheme, with and without a fault plan, a full simulation run with the
+// uniform-grid spatial index (the default) must produce byte-identical
+// Results to the same run with Config.BruteForceReachability set — the
+// pairwise O(N²) scan the index replaced.
+//
+// Equality is asserted on the canonical JSON digest of core.Results, the
+// same canonicalization the seed-digest goldens pin, so "equivalent" means
+// every metric, counter, and energy total matches to the bit: the index may
+// only change how reachability is computed, never what any simulation
+// observes. Combined with TestSeedDigest (whose goldens predate the index),
+// this proves grid == brute == the pre-index baseline.
+func TestSpatialIndexEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario simulations in -short mode")
+	}
+	for _, c := range digestCases() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cfg := digestConfig(c)
+			grid, err := core.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg = digestConfig(c)
+			cfg.BruteForceReachability = true
+			brute, err := core.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gd, bd := resultsDigest(t, grid), resultsDigest(t, brute)
+			if gd != bd {
+				t.Errorf("spatial index changed simulation results:\n  grid  %s\n  brute %s\n"+
+					"the index must be observationally invisible; repro: %s (add BruteForceReachability)",
+					gd, bd, reproCommand(c))
+			}
+		})
+	}
+}

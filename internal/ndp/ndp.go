@@ -4,6 +4,12 @@
 // have suffered a link failure. Link-up and link-down transitions are
 // reported through callbacks, which GroCoca's signature exchange protocol
 // uses to detect TCG members appearing, departing, and reconnecting.
+//
+// Cost model: each beacon is one medium Broadcast, so a population of N
+// hosts beaconing on a shared interval completes N transmissions per
+// period. With the medium's spatial index each completion costs O(k) for
+// k in-range hosts (one shared position sweep per timestamp), keeping a
+// beacon tick at O(N·k) instead of the pairwise scan's O(N²).
 package ndp
 
 import (
@@ -44,6 +50,9 @@ type Protocol struct {
 	lastSeen map[network.NodeID]time.Duration
 	running  bool
 	tick     *sim.Event
+	// expired is the expiry sweep's scratch buffer, reused across beacon
+	// periods so steady-state expiry does not regrow it.
+	expired []network.NodeID
 }
 
 // New creates a stopped protocol instance for the given node.
@@ -120,13 +129,14 @@ func (p *Protocol) loop() {
 func (p *Protocol) expire() {
 	deadline := time.Duration(p.cfg.MissedCycles) * p.cfg.Interval
 	now := p.k.Now()
-	var expired []network.NodeID
+	expired := p.expired[:0]
 	for id, seen := range p.lastSeen {
 		if now-seen > deadline {
 			expired = append(expired, id)
 		}
 	}
 	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	p.expired = expired
 	for _, id := range expired {
 		delete(p.lastSeen, id)
 		if p.cfg.OnDown != nil {

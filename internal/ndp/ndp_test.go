@@ -116,6 +116,7 @@ func TestLinkFailureDetection(t *testing.T) {
 	}
 	// b disconnects (stops beaconing and receiving).
 	b.connected = false
+	m.ConnectivityChanged(b.id)
 	b.proto.Stop()
 	if err := k.Run(10 * time.Second); err != nil {
 		t.Fatal(err)
@@ -143,11 +144,13 @@ func TestReconnectRediscovers(t *testing.T) {
 		t.Fatal(err)
 	}
 	b.connected = false
+	m.ConnectivityChanged(b.id)
 	b.proto.Stop()
 	if err := k.Run(10 * time.Second); err != nil {
 		t.Fatal(err)
 	}
 	b.connected = true
+	m.ConnectivityChanged(b.id)
 	b.proto.Start()
 	if err := k.Run(15 * time.Second); err != nil {
 		t.Fatal(err)

@@ -84,6 +84,7 @@ func TestBroadcastReachesOnlyInRangeConnected(t *testing.T) {
 	far := addPeer(t, m, 3, 500, 0)
 	off := addPeer(t, m, 4, 10, 0)
 	off.connected = false
+	m.ConnectivityChanged(off.id)
 	_ = src
 
 	m.Broadcast(Message{Kind: KindRequest, From: 1, Size: RequestSize})
@@ -197,6 +198,7 @@ func TestSendFromDisconnectedIsDropped(t *testing.T) {
 	src := addPeer(t, m, 1, 0, 0)
 	dst := addPeer(t, m, 2, 10, 0)
 	src.connected = false
+	m.ConnectivityChanged(src.id)
 	m.Send(Message{Kind: KindReply, From: 1, To: 2, Size: 40})
 	if err := k.Run(time.Second); err != nil {
 		t.Fatal(err)
@@ -253,6 +255,7 @@ func TestNeighbors(t *testing.T) {
 		t.Errorf("Neighbors(1) = %v, want [2 3]", got)
 	}
 	p3.connected = false
+	m.ConnectivityChanged(p3.id)
 	got = m.Neighbors(1)
 	if len(got) != 1 || got[0] != 2 {
 		t.Errorf("Neighbors(1) after disconnect = %v, want [2]", got)

@@ -11,6 +11,11 @@ import (
 // (internal/checkpoint): the plan's config, each channel's RNG stream
 // position and burst-chain state, and the per-host crash streams. A
 // restored plan replays the identical fault sequence.
+//
+// The medium itself carries no snapshot: its spatial index (medium.go) is
+// derived state, rebuilt lazily from Peer.Position() as traffic flows.
+// Serializing it would only invite divergence between the stored cells
+// and the authoritative mobility trajectories — rebuild, never snapshot.
 
 // ChannelFaultState is one channel's loss-model runtime state.
 type ChannelFaultState struct {
