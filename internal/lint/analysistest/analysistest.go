@@ -45,17 +45,21 @@ type want struct {
 var quoted = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
 
 // Run loads testdata/src/<path> for each fixture path and verifies the
-// analyzer's diagnostics against the fixtures' want comments.
+// analyzer's diagnostics against the fixtures' want comments. Fixtures may
+// import sibling fixture packages by their tree-relative path (e.g. a
+// fixture "a" importing "internal/sim" resolves to testdata/src/internal/sim),
+// so analyzers that key on cross-package types can be tested against
+// realistic shapes.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
 	for _, path := range paths {
-		runOne(t, filepath.Join(testdata, "src", filepath.FromSlash(path)), path, a)
+		runOne(t, filepath.Join(testdata, "src"), path, a)
 	}
 }
 
-func runOne(t *testing.T, dir, path string, a *analysis.Analyzer) {
+func runOne(t *testing.T, root, path string, a *analysis.Analyzer) {
 	t.Helper()
-	pkg, err := loader.LoadDir(dir, path)
+	pkg, err := loader.LoadTree(root, path)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", path, err)
 	}

@@ -1,0 +1,12 @@
+package epochsync_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/epochsync"
+)
+
+func TestEpochSync(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), epochsync.Analyzer, "a")
+}

@@ -1,0 +1,9 @@
+package a
+
+// Test files may flip connectivity state directly — harnesses register no
+// medium — so no diagnostics in here.
+
+func forceOffline(p *Peer) {
+	p.online = false
+	p.failures = 10
+}

@@ -1,0 +1,88 @@
+// Package a exercises the hotalloc analyzer: every flagged allocation
+// shape inside //hot: functions and their same-package closure, the
+// sanctioned scratch idioms that stay silent, and cold functions that may
+// allocate freely.
+package a
+
+import "fmt"
+
+// Store owns reusable scratch, the sanctioned hot-path idiom.
+type Store struct {
+	scratch []int
+	words   []uint64
+}
+
+// sink is an interface target for boxing checks.
+type sink interface{ accept() }
+
+type concrete struct{ n int }
+
+func (concrete) accept() {}
+
+var global sink
+
+//hot:probed on every simulated transmission
+func (s *Store) HotDirect(n int) string {
+	s.scratch = append(s.scratch[:0], n) // receiver-owned scratch: no diagnostic
+	buf := make([]int, 0, n)             // want "make allocates on the hot path of HotDirect"
+	_ = buf
+	return fmt.Sprintf("%d", n) // want "fmt.Sprintf allocates its result and boxes every operand on the hot path of HotDirect"
+}
+
+//hot:closure coverage — callees inherit the obligation
+func (s *Store) HotViaHelper(n int) {
+	s.helper(n)
+}
+
+// helper is cold by name but reached from HotViaHelper's closure.
+func (s *Store) helper(n int) {
+	var fresh []int
+	for i := 0; i < n; i++ {
+		fresh = append(fresh, i) // want "append grows the unsized local slice fresh on the hot path of HotViaHelper"
+	}
+	lit := []int{}
+	lit = append(lit, n) // want "append grows the unsized local slice lit on the hot path of HotViaHelper"
+	_ = lit
+}
+
+//hot:escaping closures and boxing
+func (s *Store) HotEscapes(n int) {
+	run(func() { _ = n })        // want "closure captures n and allocates its context on the hot path of HotEscapes"
+	run(func() { _ = len("x") }) // capture-free static closure: no diagnostic
+	global = concrete{n: n}      // want "value of concrete type a.concrete is boxed into interface a.sink on the hot path of HotEscapes"
+	global = &concrete{}         // pointer fits the interface word: no diagnostic
+	take(concrete{})             // want "value of concrete type a.concrete is boxed into interface a.sink on the hot path of HotEscapes"
+	take(nil)                    // nil: no diagnostic
+}
+
+func run(f func()) { f() }
+
+func take(s sink) {}
+
+//hot:scratch flowing through parameters stays silent
+func (s *Store) HotAppendParam(dst []int, n int) []int {
+	for i := 0; i < n; i++ {
+		dst = append(dst, i) // caller-provided scratch: no diagnostic
+	}
+	return dst
+}
+
+//hot:justified allocation carries a suppression (applied by the driver)
+func (s *Store) HotLazyInit() {
+	if s.words == nil {
+		//lint:ignore hotalloc once-per-instance lazy init, amortized to zero
+		s.words = make([]uint64, 4) // want "make allocates on the hot path of HotLazyInit"
+	}
+}
+
+// Cold is unannotated: identical shapes, no diagnostics.
+func (s *Store) Cold(n int) string {
+	var fresh []int
+	for i := 0; i < n; i++ {
+		fresh = append(fresh, i)
+	}
+	_ = make([]int, n)
+	run(func() { _ = n })
+	global = concrete{n: n}
+	return fmt.Sprintf("%d", n)
+}

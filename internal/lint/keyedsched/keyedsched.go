@@ -1,0 +1,121 @@
+// Package keyedsched statically enforces the keyed-event scheduling
+// contract of the checkpoint layer (internal/sim/snapshot.go): a kernel is
+// snapshottable only when every pending event carries a restore key, so
+// model code in a snapshot-capable package — one declaring a State/Restore
+// pair — must schedule through Kernel.ScheduleKeyed/AtKeyed, not the plain
+// Schedule/At closures that Kernel.Snapshot can only reject at runtime.
+//
+// The analyzer is type-aware: it flags calls whose callee is the Schedule
+// or At method of the sim kernel (a type named Kernel in a package whose
+// path is or ends in internal/sim), but only in snapshot-capable packages
+// and only outside test files. Calls inside the kernel's own method set
+// are the implementation of the scheduling API — Schedule delegates to At,
+// At to AtKeyed — not users of it, and are skipped. Timers that are
+// deliberately unkeyed — a pending protocol timeout whose existence marks
+// the kernel non-quiescent, so Snapshot rejecting it is the contract
+// working — are suppressed at the call site with //lint:ignore keyedsched
+// <reason>.
+package keyedsched
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/contract"
+)
+
+// Analyzer is the keyedsched pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "keyedsched",
+	Doc:  "flags unkeyed Kernel.Schedule/At calls in snapshot-capable packages; use ScheduleKeyed/AtKeyed",
+	Run:  run,
+}
+
+// keyedAlternative maps the unkeyed scheduling methods to their keyed
+// replacements.
+var keyedAlternative = map[string]string{
+	"Schedule": "ScheduleKeyed",
+	"At":       "AtKeyed",
+}
+
+// isSimKernel reports whether the named type is the simulation kernel: a
+// type named Kernel declared in internal/sim (any module prefix).
+func isSimKernel(n *types.Named) bool {
+	if n.Obj().Name() != "Kernel" || n.Obj().Pkg() == nil {
+		return false
+	}
+	path := n.Obj().Pkg().Path()
+	return path == "internal/sim" || strings.HasSuffix(path, "/internal/sim")
+}
+
+// kernelMethod reports whether fd is declared on the sim kernel itself —
+// the scheduling API's implementation, exempt from its own contract.
+func kernelMethod(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil {
+		return false
+	}
+	obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	recv := obj.Type().(*types.Signature).Recv().Type()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	return ok && isSimKernel(named)
+}
+
+func run(pass *analysis.Pass) error {
+	if !contract.SnapshotCapable(pass) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && kernelMethod(pass, fd) {
+				continue
+			}
+			inspectDecl(pass, decl)
+		}
+	}
+	return nil
+}
+
+// inspectDecl flags unkeyed scheduling calls within one declaration.
+func inspectDecl(pass *analysis.Pass, decl ast.Decl) {
+	ast.Inspect(decl, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		alt, ok := keyedAlternative[sel.Sel.Name]
+		if !ok {
+			return true
+		}
+		if pass.IsTestFile(call.Pos()) {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.MethodVal {
+			return true
+		}
+		recv := selection.Recv()
+		if p, isPtr := recv.(*types.Pointer); isPtr {
+			recv = p.Elem()
+		}
+		named, ok := recv.(*types.Named)
+		if !ok || !isSimKernel(named) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"unkeyed Kernel.%s in a snapshot-capable package: a pending event without a restore key makes Kernel.Snapshot fail at runtime; use %s (or suppress deliberately non-quiescent timers with a reason)",
+			sel.Sel.Name, alt)
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package keyedsched_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/keyedsched"
+)
+
+func TestKeyedSched(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), keyedsched.Analyzer, "a", "b", "internal/sim")
+}

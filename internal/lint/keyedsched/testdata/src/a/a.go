@@ -1,0 +1,41 @@
+// Package a is snapshot-capable (it declares a State/Restore pair), so
+// unkeyed Kernel.Schedule/At calls are contract violations here.
+package a
+
+import "internal/sim"
+
+// Model is checkpointable state driven by kernel events.
+type Model struct {
+	k *sim.Kernel
+	n int
+}
+
+// ModelState is Model's serializable image.
+type ModelState struct {
+	N int
+}
+
+// State captures the model.
+func (m *Model) State() ModelState { return ModelState{N: m.n} }
+
+// RestoreModel rebuilds a model.
+func RestoreModel(st ModelState) *Model { return &Model{n: st.N} }
+
+func (m *Model) tick() { m.n++ }
+
+func (m *Model) run() {
+	m.k.Schedule(10, m.tick)                // want "unkeyed Kernel.Schedule in a snapshot-capable package"
+	m.k.At(100, m.tick)                     // want "unkeyed Kernel.At in a snapshot-capable package"
+	m.k.ScheduleKeyed("a/tick", 10, m.tick) // keyed: no diagnostic
+	m.k.AtKeyed("a/tick", 100, m.tick)      // keyed: no diagnostic
+}
+
+// schedule is an unrelated method with a colliding name on a non-kernel
+// type: no diagnostic.
+type other struct{}
+
+func (other) Schedule(delay int64, fn func()) {}
+
+func (m *Model) decoy(o other) {
+	o.Schedule(10, m.tick) // not the sim kernel: no diagnostic
+}

@@ -1,0 +1,14 @@
+// Package b has no State/Restore pair, so it is not snapshot-capable and
+// may use the plain scheduling entry points freely.
+package b
+
+import "internal/sim"
+
+// Runner drives housekeeping without participating in checkpoints.
+type Runner struct {
+	k *sim.Kernel
+}
+
+func (r *Runner) loop() {
+	r.k.Schedule(5, r.loop) // not snapshot-capable: no diagnostic
+}

@@ -1,0 +1,54 @@
+// Package sim stands in for the real simulation kernel: the type the
+// keyedsched analyzer keys on, with both the unkeyed and keyed scheduling
+// entry points. The package is itself snapshot-capable (Kernel.Snapshot),
+// so the analyzer runs here too — and must skip the kernel's own
+// delegation chain while still flagging other in-package callers.
+package sim
+
+// Kernel is the stand-in simulation executive.
+type Kernel struct{ seq uint64 }
+
+// Event is a stand-in scheduled callback.
+type Event struct{ key string }
+
+// KernelState is the kernel's serializable image.
+type KernelState struct{ Seq uint64 }
+
+// Snapshot captures the kernel, making this package snapshot-capable.
+func (k *Kernel) Snapshot() KernelState { return KernelState{Seq: k.seq} }
+
+// RestoreKernel rebuilds a kernel.
+func RestoreKernel(st KernelState) *Kernel { return &Kernel{seq: st.Seq} }
+
+// Schedule is the unkeyed entry point keyedsched flags — but not here:
+// the kernel's own methods are the API implementation, exempt.
+func (k *Kernel) Schedule(delay int64, fn func()) *Event {
+	return k.At(delay, fn) // delegation inside the method set: no diagnostic
+}
+
+// At is the unkeyed absolute-time entry point keyedsched flags.
+func (k *Kernel) At(t int64, fn func()) *Event {
+	k.seq++
+	return &Event{}
+}
+
+// Helper is a non-kernel in-package caller: the exemption does not extend
+// to it.
+type Helper struct{ k *Kernel }
+
+// Defer schedules unkeyed from outside the kernel's method set.
+func (h *Helper) Defer(fn func()) *Event {
+	return h.k.Schedule(1, fn) // want "unkeyed Kernel.Schedule in a snapshot-capable package"
+}
+
+// ScheduleKeyed is the checkpointable replacement.
+func (k *Kernel) ScheduleKeyed(key string, delay int64, fn func()) *Event {
+	k.seq++
+	return &Event{key: key}
+}
+
+// AtKeyed is the checkpointable absolute-time replacement.
+func (k *Kernel) AtKeyed(key string, t int64, fn func()) *Event {
+	k.seq++
+	return &Event{key: key}
+}

@@ -31,23 +31,50 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
+// Suppression is one //lint:ignore directive that suppressed at least one
+// diagnostic — the unit the suppression budget counts and the -json report
+// lists, so every silenced finding stays reviewable.
+type Suppression struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	// Count is the number of diagnostics the directive silenced.
+	Count int
+}
+
+// String renders the suppression for the budget report.
+func (s Suppression) String() string {
+	return fmt.Sprintf("%s:%d: [%s] suppressed %d finding(s): %s", s.Pos.Filename, s.Pos.Line, s.Analyzer, s.Count, s.Reason)
+}
+
 // directiveState tracks one parsed directive and whether it earned its
 // keep by suppressing at least one diagnostic.
 type directiveState struct {
 	analysis.Directive
-	file string
-	used bool
+	file  string
+	used  bool
+	count int
 }
 
-// Analyze runs every analyzer over every package and returns the
-// findings that survive suppression, sorted by position.
+// Analyze runs every analyzer over every package and returns the findings
+// that survive suppression, sorted by position. It discards the
+// suppression inventory; drivers that report or budget suppressions use
+// AnalyzeAll.
 func Analyze(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	findings, _, err := AnalyzeAll(pkgs, analyzers)
+	return findings, err
+}
+
+// AnalyzeAll is Analyze plus the inventory of suppressions that fired,
+// sorted by position.
+func AnalyzeAll(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, []Suppression, error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
 	}
 
 	var findings []Finding
+	var suppressions []Suppression
 	for _, pkg := range pkgs {
 		// Collect this package's directives, keyed by file.
 		byFile := make(map[string][]*directiveState)
@@ -79,7 +106,7 @@ func Analyze(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding,
 				Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
 			}
 			for _, d := range diags {
 				pos := pkg.Fset.Position(d.Pos)
@@ -87,6 +114,7 @@ func Analyze(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding,
 				for _, st := range byFile[pos.Filename] {
 					if st.Suppresses(a.Name, pos.Line) {
 						st.used = true
+						st.count++
 						suppressed = true
 					}
 				}
@@ -107,6 +135,13 @@ func Analyze(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding,
 			case !st.used:
 				findings = append(findings, Finding{Pos: pos, Analyzer: "ignore",
 					Message: fmt.Sprintf("unused lint:ignore %s directive: nothing to suppress here; delete it", st.Analyzer)})
+			default:
+				suppressions = append(suppressions, Suppression{
+					Pos:      pos,
+					Analyzer: st.Analyzer,
+					Reason:   st.Reason,
+					Count:    st.count,
+				})
 			}
 		}
 	}
@@ -124,7 +159,17 @@ func Analyze(pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding,
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	sort.Slice(suppressions, func(i, j int) bool {
+		a, b := suppressions[i], suppressions[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, suppressions, nil
 }
 
 // Run loads the patterns, analyzes them, and prints findings to w.

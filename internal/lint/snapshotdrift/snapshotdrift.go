@@ -1,0 +1,266 @@
+// Package snapshotdrift statically enforces the checkpoint coverage
+// contract (DESIGN.md "Checkpoint format & compatibility"): every type
+// that participates in checkpoint/restore — a State() or Snapshot() method
+// returning a package-local state struct, optionally paired with a
+// Restore* function — must keep its fields and its state struct's fields
+// in sync with the capture and restore paths.
+//
+// Three obligations are checked per pair, all by reference coverage over
+// the call closure of the capture/restore declarations (helpers called
+// within the package count toward coverage):
+//
+//  1. Every directly serializable field of the live type (basics, strings,
+//     durations, and structs/slices/maps of such) must be referenced by
+//     the capture path. This is the drift detector: add a field to
+//     bloom.Filter without touching State() and the analyzer flags the
+//     field at its declaration. Wiring fields — pointers, interfaces,
+//     funcs, channels — are exempt: they are injected dependencies or
+//     state captured through their own State methods.
+//  2. Every field of the state struct (and of package-local state structs
+//     reachable from it) must be written by the capture path — a state
+//     field the capture never touches silently checkpoints zero values.
+//  3. When a Restore* function exists, every such field must also be read
+//     by the restore path — captured-but-never-restored state is drift in
+//     the other direction.
+//
+// Obligations 2 and 3 recognise wholesale conveyance: a capture that does
+// st.Config = p.cfg (or a restore that passes st.Cfg to a constructor)
+// moves every field of the nested struct at once without naming any of
+// them, so a value expression whose type reaches a nested state struct —
+// used as a unit rather than narrowed to a field or element — covers that
+// struct's whole field set in that direction. Expressions carrying the
+// pair's own state image or live value (return st, return p) convey
+// without populating and never count.
+//
+// Deliberately uncaptured fields (derived values rebuilt on restore,
+// transient run flags) are suppressed at the field declaration with
+// //lint:ignore snapshotdrift <reason>, which the suppression budget
+// counts and DESIGN.md's suppression policy governs.
+package snapshotdrift
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/contract"
+)
+
+// Analyzer is the snapshotdrift pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "snapshotdrift",
+	Doc:  "flags snapshot-pair fields missing from the capture or restore path (checkpoint drift)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pairs := contract.Pairs(pass)
+	if len(pairs) == 0 {
+		return nil
+	}
+	// A state struct can be reachable from several pairs; report each
+	// (field, direction) once.
+	type key struct {
+		f   *types.Var
+		dir string
+	}
+	reported := make(map[key]bool)
+	report := func(f *types.Var, dir, format string, args ...any) {
+		k := key{f, dir}
+		if reported[k] {
+			return
+		}
+		reported[k] = true
+		pass.Reportf(f.Pos(), format, args...)
+	}
+
+	for _, p := range pairs {
+		captureBodies := contract.Closure(pass, p.Capture)
+		captureCover := contract.FieldsReferenced(pass, captureBodies)
+		captureWhole := wholesaleConveyed(pass, captureBodies, p)
+		var restoreCover map[*types.Var]bool
+		var restoreWhole map[*types.Named]bool
+		if p.Restore != nil {
+			restoreBodies := contract.Closure(pass, p.Restore)
+			restoreCover = contract.FieldsReferenced(pass, restoreBodies)
+			restoreWhole = wholesaleConveyed(pass, restoreBodies, p)
+		}
+
+		// Obligation 1: live-type fields the capture path never reads.
+		live := p.Live.Underlying().(*types.Struct)
+		for i := 0; i < live.NumFields(); i++ {
+			f := live.Field(i)
+			if !contract.DirectlySerializable(f.Type()) {
+				continue
+			}
+			if !captureCover[f] {
+				report(f, "live",
+					"field %s of %s is serializable but never referenced by (%s).%s: checkpoint drift — capture it in %s or suppress with a documented reason",
+					f.Name(), p.Live.Obj().Name(), p.Live.Obj().Name(), p.Capture.Name.Name, p.State.Obj().Name())
+			}
+		}
+
+		// Obligations 2 and 3: state-struct fields (including nested
+		// package-local state structs) missing from capture or restore.
+		for _, st := range reachableStateStructs(pass.Pkg, p.State) {
+			s := st.Underlying().(*types.Struct)
+			for i := 0; i < s.NumFields(); i++ {
+				f := s.Field(i)
+				if !captureCover[f] && !captureWhole[st] {
+					report(f, "capture",
+						"state field %s.%s is never written by the capture path (%s).%s: it would checkpoint as a zero value",
+						st.Obj().Name(), f.Name(), p.Live.Obj().Name(), p.Capture.Name.Name)
+				}
+				if restoreCover != nil && !restoreCover[f] && !restoreWhole[st] {
+					report(f, "restore",
+						"state field %s.%s is never read by the restore path %s: captured state would be dropped on restore",
+						st.Obj().Name(), f.Name(), p.Restore.Name.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// reachableStateStructs returns the named structs declared in pkg that are
+// reachable from root through field types (by value, pointer, slice,
+// array, or map), root included. These are the nested state images — e.g.
+// EntryState inside LRUState — whose fields share root's obligations.
+func reachableStateStructs(pkg *types.Package, root *types.Named) []*types.Named {
+	return structsReachable(pkg, root)
+}
+
+// structsReachable returns the named structs declared in pkg reachable
+// from t through type structure (fields, pointers, slices, arrays, maps),
+// including t itself when it qualifies. A wholesale copy of a value of
+// type t conveys every field of every struct in this set.
+func structsReachable(pkg *types.Package, t types.Type) []*types.Named {
+	var out []*types.Named
+	seen := make(map[*types.Named]bool)
+	var visitType func(t types.Type)
+	visitType = func(t types.Type) {
+		switch u := t.(type) {
+		case *types.Named:
+			if seen[u] {
+				return
+			}
+			seen[u] = true
+			if _, isStruct := u.Underlying().(*types.Struct); isStruct {
+				if u.Obj().Pkg() == pkg {
+					// Collected; its fields are walked by the out loop.
+					out = append(out, u)
+				}
+				// Foreign structs are another package's contract.
+				return
+			}
+			visitType(u.Underlying())
+		case *types.Pointer:
+			visitType(u.Elem())
+		case *types.Slice:
+			visitType(u.Elem())
+		case *types.Array:
+			visitType(u.Elem())
+		case *types.Map:
+			visitType(u.Key())
+			visitType(u.Elem())
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				visitType(u.Field(i).Type())
+			}
+		}
+	}
+	visitType(t)
+	// Walk from each found struct's fields; out grows as new structs are
+	// found, and each found struct's fields are walked in turn.
+	for i := 0; i < len(out); i++ {
+		s := out[i].Underlying().(*types.Struct)
+		for j := 0; j < s.NumFields(); j++ {
+			visitType(s.Field(j).Type())
+		}
+	}
+	return out
+}
+
+// wholesaleConveyed returns the package-local named structs whose complete
+// field set is moved as a unit somewhere in bodies: a value expression
+// whose type reaches the struct, used whole (assigned, passed, returned,
+// appended, or placed in a composite literal) rather than narrowed by a
+// field selection, index, slice, or dereference. Any expression that also
+// carries the pair's own state image or live value — the receiver, the
+// state value under construction, a pointer to either — is skipped:
+// returning the image moves it wholesale but populates nothing, and
+// counting it would vacuously discharge every obligation.
+func wholesaleConveyed(pass *analysis.Pass, bodies []*ast.FuncDecl, p contract.Pair) map[*types.Named]bool {
+	out := make(map[*types.Named]bool)
+	// reach memoizes structsReachable per expression type.
+	reach := make(map[types.Type][]*types.Named)
+	conveyed := func(t types.Type) []*types.Named {
+		if r, ok := reach[t]; ok {
+			return r
+		}
+		r := structsReachable(pass.Pkg, t)
+		reach[t] = r
+		return r
+	}
+	for _, fd := range bodies {
+		// First pass: mark expressions that are narrowed — used as the
+		// operand of a selection, index, slice, dereference, or range —
+		// so m.pending[i][j].Peer conveys nothing while m.pending[i]
+		// passed to append conveys the element struct whole.
+		narrowed := make(map[ast.Expr]bool)
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.SelectorExpr:
+				narrowed[e.X] = true
+			case *ast.IndexExpr:
+				narrowed[e.X] = true
+			case *ast.SliceExpr:
+				narrowed[e.X] = true
+			case *ast.StarExpr:
+				narrowed[e.X] = true
+			case *ast.ParenExpr:
+				narrowed[e.X] = true
+			case *ast.RangeStmt:
+				narrowed[e.X] = true
+			}
+			return true
+		})
+		// Second pass: only expressions that denote existing storage
+		// count as conveyance. Constructors — composite literals, make,
+		// conversions, call results — populate exactly the fields their
+		// own bodies reference, which FieldsReferenced already tracks;
+		// counting them here would mask zero-valued fields.
+		ast.Inspect(fd, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.Ident:
+				// Only uses convey; a defining identifier (:=, range
+				// variables) receives a value, it does not move one.
+				if _, ok := pass.TypesInfo.Uses[e].(*types.Var); !ok {
+					return true
+				}
+			case *ast.SelectorExpr, *ast.IndexExpr, *ast.SliceExpr, *ast.StarExpr:
+			default:
+				return true
+			}
+			e := n.(ast.Expr)
+			if narrowed[e] {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || !tv.IsValue() {
+				return true
+			}
+			structs := conveyed(tv.Type)
+			for _, s := range structs {
+				if s == p.State || s == p.Live {
+					return true
+				}
+			}
+			for _, s := range structs {
+				out[s] = true
+			}
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package snapshotdrift_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/analysistest"
+	"repro/internal/lint/snapshotdrift"
+)
+
+func TestSnapshotDrift(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), snapshotdrift.Analyzer, "a")
+}

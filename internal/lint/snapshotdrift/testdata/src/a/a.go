@@ -1,0 +1,243 @@
+// Package a exercises the snapshotdrift analyzer: snapshot pairs with
+// complete coverage, drifted live types, drifted state structs, nested
+// state structs, helper-method traversal, and wiring-field exemptions.
+package a
+
+// ---- Fully covered pair: no diagnostics. ----
+
+// Good is a checkpointable type whose pair is complete.
+type Good struct {
+	n    int
+	name string
+}
+
+// GoodState is Good's serializable image.
+type GoodState struct {
+	N    int
+	Name string
+}
+
+// State captures the value.
+func (g *Good) State() GoodState { return GoodState{N: g.n, Name: g.name} }
+
+// RestoreGood rebuilds a Good.
+func RestoreGood(st GoodState) *Good { return &Good{n: st.N, name: st.Name} }
+
+// ---- Live-type drift: a serializable field the capture never reads. ----
+
+// Drifted has a field added without checkpoint coverage.
+type Drifted struct {
+	kept      int
+	forgotten float64 // want "field forgotten of Drifted is serializable but never referenced"
+}
+
+// DriftedState misses the forgotten field entirely.
+type DriftedState struct {
+	Kept int
+}
+
+// State captures only kept.
+func (d *Drifted) State() DriftedState { return DriftedState{Kept: d.kept} }
+
+// RestoreDrifted rebuilds from the partial image.
+func RestoreDrifted(st DriftedState) *Drifted { return &Drifted{kept: st.Kept} }
+
+// ---- State-struct drift: fields never written or never restored. ----
+
+// Lossy's state struct has fields the paths ignore.
+type Lossy struct {
+	a int
+	b int
+}
+
+// LossyState carries two dead fields.
+type LossyState struct {
+	A         int
+	WriteOnly int // want "never read by the restore path RestoreLossy"
+	NeverSet  int // want "never written by the capture path" "never read by the restore path"
+	ReadOnly  int // want "never written by the capture path"
+	B         int
+}
+
+// State writes A, B and WriteOnly but not NeverSet/ReadOnly.
+func (l *Lossy) State() LossyState { return LossyState{A: l.a, B: l.b, WriteOnly: 7} }
+
+// RestoreLossy reads A, B and ReadOnly but not WriteOnly/NeverSet.
+func RestoreLossy(st LossyState) *Lossy {
+	_ = st.ReadOnly
+	return &Lossy{a: st.A, b: st.B}
+}
+
+// ---- Nested state structs share the obligations. ----
+
+// Holder owns a list of items.
+type Holder struct {
+	items []item
+}
+
+type item struct {
+	id   int
+	size int
+}
+
+// ItemState is one item's image.
+type ItemState struct {
+	ID   int
+	Size int // want "never read by the restore path RestoreHolder"
+}
+
+// HolderState nests ItemState.
+type HolderState struct {
+	Items []ItemState
+}
+
+// State captures every item through a composite literal.
+func (h *Holder) State() HolderState {
+	st := HolderState{}
+	for _, it := range h.items {
+		st.Items = append(st.Items, ItemState{ID: it.id, Size: it.size})
+	}
+	return st
+}
+
+// RestoreHolder forgets to restore Size.
+func RestoreHolder(st HolderState) *Holder {
+	h := &Holder{}
+	for _, is := range st.Items {
+		h.items = append(h.items, item{id: is.ID})
+	}
+	return h
+}
+
+// ---- Coverage through helpers called by the capture path. ----
+
+// Indirect captures its field via a helper method.
+type Indirect struct {
+	hidden int
+}
+
+// IndirectState is Indirect's image.
+type IndirectState struct {
+	Hidden int
+}
+
+// State delegates to a helper; the closure walk must follow it.
+func (i *Indirect) State() IndirectState { return i.capture() }
+
+func (i *Indirect) capture() IndirectState { return IndirectState{Hidden: i.hidden} }
+
+// RestoreIndirect rebuilds through a package-level helper.
+func RestoreIndirect(st IndirectState) *Indirect { return applyIndirect(st) }
+
+func applyIndirect(st IndirectState) *Indirect { return &Indirect{hidden: st.Hidden} }
+
+// ---- Wiring fields are exempt; capture-only pairs skip restore checks. ----
+
+// Wired mixes wiring with state; only data is obligated.
+type Wired struct {
+	kernel *Good    // pointer: wiring, exempt
+	notify func()   // func: exempt
+	events chan int // chan: exempt
+	data   map[string]int
+}
+
+// WiredState captures only the data.
+type WiredState struct {
+	Data map[string]int
+}
+
+// State has no Restore counterpart (digest-only capture): restore-side
+// obligations do not apply.
+func (w *Wired) State() WiredState {
+	st := WiredState{Data: make(map[string]int, len(w.data))}
+	for k, v := range w.data {
+		st.Data[k] = v
+	}
+	return st
+}
+
+// ---- Wholesale conveyance: a nested struct copied or passed as a unit
+// covers every field in that direction without naming any of them. ----
+
+// Plan mirrors the fault-plan shape: runtime state plus an embedded
+// config struct that both paths move as a whole value.
+type Plan struct {
+	cfg  PlanConfig
+	used int
+}
+
+// PlanConfig is conveyed wholesale by both paths: no per-field findings.
+type PlanConfig struct {
+	Rate  float64
+	Burst int
+}
+
+// PlanState nests the config.
+type PlanState struct {
+	Config PlanConfig
+	Used   int
+}
+
+// State copies the config struct as a unit.
+func (p *Plan) State() PlanState { return PlanState{Config: p.cfg, Used: p.used} }
+
+// RestorePlan conveys the captured config on whole through a composite
+// literal value.
+func RestorePlan(st PlanState) *Plan { return &Plan{cfg: st.Config, used: st.Used} }
+
+// Journal copies a slice of entry structs wholesale in both directions —
+// the element struct's fields are covered without per-field references.
+type Journal struct {
+	entries []JEntry
+}
+
+// JEntry is the element image.
+type JEntry struct {
+	At  int
+	Val int
+}
+
+// JournalState carries the entry slice.
+type JournalState struct {
+	Entries []JEntry
+}
+
+// State clones the slice; the append argument conveys JEntry whole.
+func (j *Journal) State() JournalState {
+	return JournalState{Entries: append([]JEntry(nil), j.entries...)}
+}
+
+// RestoreJournal clones it back.
+func RestoreJournal(st JournalState) *Journal {
+	return &Journal{entries: append([]JEntry(nil), st.Entries...)}
+}
+
+// ---- Constructors are not conveyance: a composite literal populates
+// exactly the fields it names, so a forgotten field stays flagged. ----
+
+// Partial builds its nested image through a literal that names only A.
+type Partial struct {
+	a int
+	b int // want "field b of Partial is serializable but never referenced"
+}
+
+// PartialInner is the nested image with a forgotten field.
+type PartialInner struct {
+	A int
+	B int // want "state field PartialInner.B is never written by the capture path"
+}
+
+// PartialState nests PartialInner.
+type PartialState struct {
+	Inner PartialInner
+}
+
+// State names only A in the inner literal: B checkpoints as zero.
+func (p *Partial) State() PartialState {
+	return PartialState{Inner: PartialInner{A: p.a}}
+}
+
+// RestorePartial reads both inner fields, so only the capture side drifts.
+func RestorePartial(st PartialState) *Partial {
+	return &Partial{a: st.Inner.A, b: st.Inner.B}
+}
