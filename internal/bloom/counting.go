@@ -15,7 +15,8 @@ type CountingFilter struct {
 	m         int
 	k         int
 	widthBits int
-	max       uint32
+	//lint:ignore snapshotdrift derived saturation bound ((1<<widthBits)-1); RestoreCountingFilter recomputes it through NewCountingFilter
+	max uint32
 	// dirty is set when a saturation event forced a discard, signalling
 	// that the vector no longer exactly reflects the cache and should be
 	// rebuilt.
@@ -292,6 +293,8 @@ func (v *PeerVector) Signature() *Filter {
 // Covers reports whether the peer signature covers the given search or data
 // signature, i.e. some TCG member probably caches the item. Only the set
 // bits of sub are visited.
+//
+//hot:filtering-mechanism scan on every miss (BenchmarkPeerVectorCovers)
 func (v *PeerVector) Covers(sub *Filter) bool {
 	if sub.M() != v.m {
 		return false
@@ -312,6 +315,8 @@ func (v *PeerVector) Covers(sub *Filter) bool {
 // CoversElement is the allocation-free form of building a one-element
 // search/data signature and testing Covers against it — the per-miss hot
 // path of the filtering mechanism and the cooperative replacement scan.
+//
+//hot:per-miss filtering probe; must stay allocation-free
 func (v *PeerVector) CoversElement(element uint64) bool {
 	f := Filter{m: v.m, k: v.k}
 	h1 := mix64(element)
