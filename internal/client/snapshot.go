@@ -2,12 +2,14 @@ package client
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/bloom"
 	"repro/internal/cache"
 	"repro/internal/network"
 	"repro/internal/stats"
+	"repro/internal/workload"
 )
 
 // HostState is the serializable durable state of one mobile host for the
@@ -30,6 +32,21 @@ type HostState struct {
 	LastRequestAt     time.Duration
 	LastServerContact time.Duration
 	Departures        int
+
+	// Crash/recover churn request-stream state: the pending next-request
+	// item survives a crash so recovery re-issues the same item without
+	// disturbing the workload stream, and the done marker keeps a
+	// finished host from double-reporting.
+	NextReqItem    workload.ItemID
+	NextReqPending bool
+	DoneSent       bool
+
+	// Un-broadcast signature deltas (ascending positions) and un-reported
+	// peer accesses (arrival order): durable batches that cannot be
+	// re-derived once dropped.
+	InsertDelta   []int
+	EvictDelta    []int
+	PeerAccessLog []workload.ItemID
 
 	// Cache contents in LRU order.
 	Cache cache.LRUState
@@ -59,7 +76,19 @@ func (h *Host) State() (HostState, error) {
 		LastRequestAt:     h.lastRequestAt,
 		LastServerContact: h.lastServerContact,
 		Departures:        h.departures,
+		NextReqItem:       h.nextReqItem,
+		NextReqPending:    h.nextReqPending,
+		DoneSent:          h.doneSent,
 		Cache:             h.cache.State(),
+	}
+	if len(h.insertDelta) > 0 {
+		st.InsertDelta = sortedPositions(h.insertDelta)
+	}
+	if len(h.evictDelta) > 0 {
+		st.EvictDelta = sortedPositions(h.evictDelta)
+	}
+	if len(h.peerAccessLog) > 0 {
+		st.PeerAccessLog = append([]workload.ItemID(nil), h.peerAccessLog...)
 	}
 	if len(h.tcg) > 0 {
 		st.TCG = make(map[network.NodeID]bool, len(h.tcg))
@@ -82,4 +111,15 @@ func (h *Host) State() (HostState, error) {
 		}
 	}
 	return st, nil
+}
+
+// sortedPositions flattens a signature-delta set in ascending order, so
+// the captured image is canonical regardless of map iteration.
+func sortedPositions(set map[int]struct{}) []int {
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
 }
