@@ -61,8 +61,9 @@ type pendingRequest struct {
 // Host is one mobile host. It is driven entirely by simulation events; all
 // methods run on the kernel goroutine.
 type Host struct {
-	id        network.NodeID
-	k         *sim.Kernel
+	id network.NodeID
+	k  *sim.Kernel
+	//lint:ignore snapshotdrift construction-time run configuration, identical for every host in a cell; the sweep records it, not the per-host image
 	cfg       Config
 	mob       mobility.Node
 	medium    *network.Medium
@@ -98,19 +99,23 @@ type Host struct {
 	tau stats.Welford
 
 	// Spillover state: request activity estimate and neighbor beacon table.
-	activityGap    stats.EWMA
-	lastRequestAt  time.Duration
+	activityGap   stats.EWMA
+	lastRequestAt time.Duration
+	//lint:ignore snapshotdrift soft state re-learned from periodic NDP beacons and discarded as stale after three intervals; deliberately outside the quiescent image
 	neighborStates map[network.NodeID]neighborState
+	//lint:ignore snapshotdrift construction-time constant copied from the NDP config, never mutated after New
 	beaconInterval time.Duration
 
 	// Flood deduplication for HopDist > 1.
+	//lint:ignore snapshotdrift bounded dedup window flushed wholesale when full; re-seeding it empty only risks one duplicate flood per key, never divergence
 	seenFloods map[floodKey]struct{}
 
 	// GroCoca state.
-	tcg               map[network.NodeID]bool
-	ownSig            *bloom.CountingFilter
-	peerVec           *bloom.PeerVector
-	haveSig           map[network.NodeID]*bloom.Filter
+	tcg     map[network.NodeID]bool
+	ownSig  *bloom.CountingFilter
+	peerVec *bloom.PeerVector
+	haveSig map[network.NodeID]*bloom.Filter
+	//lint:ignore snapshotdrift marks in-flight signature requests whose reply messages are themselves uncapturable; the quiescent contract drops the marker with the message
 	outstandSig       map[network.NodeID]struct{}
 	insertDelta       map[int]struct{}
 	evictDelta        map[int]struct{}
@@ -261,9 +266,11 @@ func (h *Host) Start() {
 		h.ndp.Start()
 	}
 	if h.cfg.Scheme == SchemeGroCoca && h.cfg.ExplicitUpdateAfter > 0 {
+		//lint:ignore keyedsched periodic explicit-update timer; HostState is digest-only (resume re-runs the replication), so a pending timer marking the kernel non-quiescent is the contract working
 		h.k.Schedule(h.cfg.ExplicitUpdateAfter, h.explicitUpdateTick)
 	}
 	if h.faults != nil && h.faults.CrashEnabled() {
+		//lint:ignore keyedsched crash-churn timer lives for the whole run; deliberately unkeyed under the digest-only host checkpoint contract
 		h.k.Schedule(h.faults.CrashDelay(h.id), h.crash)
 	}
 	h.scheduleNextRequest()
@@ -290,6 +297,7 @@ func (h *Host) scheduleNextRequest() {
 	item, think := h.gen.Next()
 	h.nextReqItem = item
 	h.nextReqPending = true
+	//lint:ignore keyedsched think timer for the next request; crash recovery re-issues nextReqItem, and resume re-runs the replication rather than restoring timers
 	h.nextReqEv = h.k.Schedule(think, func() {
 		h.nextReqPending = false
 		h.nextReqEv = nil
@@ -376,6 +384,7 @@ func (h *Host) crash() {
 		return
 	}
 	if !h.connected {
+		//lint:ignore keyedsched deferred crash re-arm; deliberately unkeyed under the digest-only host checkpoint contract
 		h.k.Schedule(h.faults.CrashDelay(h.id), h.crash)
 		return
 	}
@@ -402,6 +411,7 @@ func (h *Host) crash() {
 		p.cause = "crash-abort"
 		h.finish(p, OutcomeFailure)
 	}
+	//lint:ignore keyedsched crash-downtime timer; deliberately unkeyed under the digest-only host checkpoint contract
 	h.k.Schedule(h.faults.CrashDowntime(h.id), h.recoverFromCrash)
 }
 
@@ -418,6 +428,7 @@ func (h *Host) recoverFromCrash() {
 	if h.cfg.Scheme == SchemeGroCoca {
 		h.reconnectSignatures()
 	}
+	//lint:ignore keyedsched crash re-arm after recovery; deliberately unkeyed under the digest-only host checkpoint contract
 	h.k.Schedule(h.faults.CrashDelay(h.id), h.crash)
 	if h.nextReqPending {
 		h.nextReqPending = false
@@ -435,6 +446,7 @@ func (h *Host) disconnect() {
 		h.ndp.Stop()
 	}
 	length := h.rngDisc.UniformDuration(h.cfg.DiscMin, h.cfg.DiscMax)
+	//lint:ignore keyedsched voluntary-disconnection reconnect timer; deliberately unkeyed under the digest-only host checkpoint contract
 	h.k.Schedule(length, h.reconnect)
 }
 
@@ -469,6 +481,7 @@ func (h *Host) explicitUpdateTick() {
 		})
 	}
 	if h.completed < h.totalRequests() {
+		//lint:ignore keyedsched explicit-update re-arm; deliberately unkeyed under the digest-only host checkpoint contract
 		h.k.Schedule(h.cfg.ExplicitUpdateAfter, h.explicitUpdateTick)
 	}
 }

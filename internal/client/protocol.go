@@ -127,6 +127,7 @@ func (h *Host) broadcastSearch(item workload.ItemID) {
 		Size:    network.RequestSize,
 		Payload: payload,
 	})
+	//lint:ignore keyedsched request-lifecycle timeout: it only exists while cur != nil, and Host.State refuses to capture a non-quiescent host, so it can never be pending at a checkpoint
 	p.timeout = h.k.Schedule(h.searchTimeout(), func() {
 		if h.cur == p && p.phase == phaseWaitReply {
 			h.collector.peerTimeouts++
@@ -256,6 +257,7 @@ func (h *Host) handleReply(msg network.Message) {
 			Path:   payload.Path,
 		},
 	})
+	//lint:ignore keyedsched request-lifecycle timeout, unreachable at a quiescent capture (State refuses while cur != nil)
 	p.timeout = h.k.Schedule(h.dataTimeout(), func() { h.dataTimeoutFired(p) })
 }
 
@@ -286,6 +288,7 @@ func (h *Host) dataTimeoutFired(p *pendingRequest) {
 				},
 			})
 			backoff := h.dataTimeout() << uint(p.retrieveAttempts)
+			//lint:ignore keyedsched request-lifecycle retry backoff, unreachable at a quiescent capture (State refuses while cur != nil)
 			p.timeout = h.k.Schedule(backoff, func() { h.dataTimeoutFired(p) })
 			return
 		}
@@ -481,6 +484,7 @@ func (h *Host) armServerRescue(p *pendingRequest, want phase, resend func()) {
 	if h.cfg.ServerRetryLimit <= 0 {
 		return
 	}
+	//lint:ignore keyedsched request-lifecycle rescue timer, unreachable at a quiescent capture (State refuses while cur != nil)
 	p.timeout = h.k.Schedule(h.serverRescueTimeout(p.serverAttempts), func() {
 		if h.cur != p || p.phase != want {
 			return

@@ -89,9 +89,10 @@ func (h *eventHeap) Pop() any {
 // Kernel is the simulation executive. The zero value is not usable; create
 // one with NewKernel.
 type Kernel struct {
-	now     time.Duration
-	seq     uint64
-	events  eventHeap
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	//lint:ignore snapshotdrift run-loop control flag: Run clears it on entry, so it is never meaningful across a snapshot
 	stopped bool
 	// processed counts events that have fired, for diagnostics.
 	processed uint64
