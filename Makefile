@@ -9,19 +9,39 @@ BENCH_PKGS = ./internal/sim/ ./internal/network/ ./internal/bloom/
 BENCH_OUT ?= BENCH_seed.json
 BENCH_BASE ?= BENCH_pr7.json
 
-.PHONY: tier1 vet build lint test race short bench race-runner sweep-smoke chaos-smoke bench-baseline bench-check fuzz-smoke resume-smoke
+## LINT_SUPPRESS_BUDGET: the exact number of //lint:ignore directives that
+## fire repo-wide. Raising it is a reviewed decision — every new
+## suppression must carry a documented reason (DESIGN.md "Static
+## analysis"), and the budget gate keeps them from accumulating silently.
+LINT_SUPPRESS_BUDGET = 23
 
-## tier1: the gate every change must pass — vet, build, the determinism
-## lint suite, tests with the race detector.
+.PHONY: tier1 vet build lint lint-selftest test race short bench race-runner sweep-smoke chaos-smoke bench-baseline bench-check fuzz-smoke resume-smoke
+
+## tier1: the gate every change must pass — vet, build, the contract-lint
+## suite (with its self-test), tests with the race detector.
 tier1: vet build lint race
 
 vet:
 	$(GO) vet ./...
 
-## lint: the custom determinism analyzers (see DESIGN.md "Determinism
-## rules"). Zero unsuppressed diagnostics required.
+## lint: the contract-analysis suite — determinism analyzers plus the
+## type-aware snapshot/scheduling/epoch/hot-path contract analyzers (see
+## DESIGN.md "Static analysis"). Zero unsuppressed diagnostics and at most
+## $(LINT_SUPPRESS_BUDGET) fired suppressions required, then the selftest
+## proves each contract analyzer still catches an injected defect.
 lint:
-	$(GO) run ./cmd/grococa-lint ./...
+	$(GO) run ./cmd/grococa-lint -max-suppress $(LINT_SUPPRESS_BUDGET) ./...
+	$(MAKE) lint-selftest
+
+## lint-selftest: inject one in-memory defect per contract analyzer; the
+## run must exit 1 (every defect caught) — the same must-fail convention
+## as the chaos -selftest.
+lint-selftest:
+	@$(GO) run ./cmd/grococa-lint -selftest; status=$$?; \
+	if [ $$status -ne 1 ]; then \
+		echo "lint-selftest FAILED: expected exit 1 (all injected defects caught), got $$status" >&2; exit 1; \
+	fi
+	@echo "lint-selftest ok: every injected contract defect was caught"
 
 build:
 	$(GO) build ./...
