@@ -11,12 +11,15 @@
 //	grococa-bench -exp clients -warmup 150 -requests 250   # paper scale
 //	grococa-bench -exp skew -reps 8 -parallel 0            # mean±sd over 8 replications,
 //	                                                       # all cells fanned out to all cores
+//	grococa-bench -exp cachesize -schemes grococa,popularity,hintlru
+//	                                       # compare extension schemes on Fig 2's sweep
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -49,11 +52,23 @@ func run(args []string) error {
 	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
 	csv := fs.Bool("csv", false, "emit CSV rows instead of aligned tables")
 	resume := fs.String("resume", "", "journal completed cells in this directory and resume an interrupted run from it (output stays byte-identical)")
+	schemesFlag := fs.String("schemes", "",
+		"comma-separated scheme columns ("+strings.Join(core.SchemeFlags(), ", ")+"); empty keeps each experiment's default trio")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *reps < 1 {
 		return fmt.Errorf("-reps %d must be at least 1", *reps)
+	}
+	var schemes []core.Scheme
+	if *schemesFlag != "" {
+		for _, name := range strings.Split(*schemesFlag, ",") {
+			s, err := core.ParseScheme(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			schemes = append(schemes, s)
+		}
 	}
 	emit := func(e experiments.Experiment, points []experiments.Point) {
 		if *csv {
@@ -98,8 +113,8 @@ func run(args []string) error {
 		// The meta record binds the journal to every flag that shapes the
 		// result set, so a resume with different parameters is refused
 		// instead of silently mixing runs.
-		meta := fmt.Sprintf("grococa-bench exp=%s seed=%d warmup=%d requests=%d reps=%d tiny=%v brute=%v",
-			*exp, *seed, *warmup, *requests, *reps, *tiny, *brute)
+		meta := fmt.Sprintf("grococa-bench exp=%s seed=%d warmup=%d requests=%d reps=%d tiny=%v brute=%v schemes=%s",
+			*exp, *seed, *warmup, *requests, *reps, *tiny, *brute, *schemesFlag)
 		jr, err := checkpoint.OpenJournal(*resume, []byte(meta))
 		if err != nil {
 			return err
@@ -109,6 +124,9 @@ func run(args []string) error {
 	}
 
 	runOne := func(e experiments.Experiment) error {
+		if schemes != nil {
+			e.Schemes = schemes
+		}
 		points, err := e.Run(opts)
 		if err != nil {
 			return err

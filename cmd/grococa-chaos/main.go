@@ -1,5 +1,6 @@
 // Command grococa-chaos runs seeded adversarial campaigns against the
-// SC/COCA/GroCoca schemes under the online invariant auditor: loss ramps,
+// caching schemes (the SC/COCA/GroCoca matrix by default; any registered
+// scheme via -scheme) under the online invariant auditor: loss ramps,
 // Gilbert–Elliott burst storms, scheduled MSS blackouts, crash churn, and
 // their combination. Every violation is printed with the one-line command
 // that replays the exact offending run; the exit status is nonzero when
@@ -79,7 +80,8 @@ func run(args []string, out io.Writer) (int, error) {
 	seed := fs.Int64("seed", 1, "base seed of the campaign matrix")
 	seedIndex := fs.Int("seed-index", -1, "replay exactly this seed index (repro mode; -1 = all)")
 	campaign := fs.String("campaign", "", "run only this campaign (default: all; see -list)")
-	scheme := fs.String("scheme", "", "run only this scheme: sc, coca or grococa (default: all)")
+	scheme := fs.String("scheme", "",
+		"run only this scheme: "+strings.Join(core.SchemeFlags(), ", ")+" (default: the sc/coca/grococa matrix)")
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS); output is identical for any value")
 	slo := fs.Duration("slo", 0, "recovery SLO: flag episodes not recovered within this duration (0 = report-only)")
 	selfTest := fs.Bool("selftest", false, "inject a deliberate TTL-corruption bug; the run must report violations")
@@ -193,18 +195,9 @@ func run(args []string, out io.Writer) (int, error) {
 	return 0, nil
 }
 
-// parseScheme maps the flag spelling to a scheme.
+// parseScheme maps the flag spelling to a scheme via the registry.
 func parseScheme(s string) (core.Scheme, error) {
-	switch s {
-	case "sc":
-		return core.SchemeSC, nil
-	case "coca":
-		return core.SchemeCOCA, nil
-	case "grococa":
-		return core.SchemeGroCoca, nil
-	default:
-		return 0, fmt.Errorf("unknown scheme %q (want sc, coca or grococa)", s)
-	}
+	return core.ParseScheme(s)
 }
 
 // totalRuns computes the size of the campaign matrix the flags select.
@@ -213,6 +206,8 @@ func totalRuns(campaign, scheme string, seeds, seedIndex int) int {
 	if campaign != "" {
 		campaigns = 1
 	}
+	// The default matrix is the paper's trio (chaos.Options.withDefaults),
+	// not the full registry.
 	schemes := 3
 	if scheme != "" {
 		schemes = 1

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -40,7 +41,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("grococa-sim", flag.ContinueOnError)
 	cfg := core.DefaultConfig()
 
-	scheme := fs.String("scheme", "grococa", "caching scheme: sc, coca, grococa")
+	scheme := fs.String("scheme", "grococa",
+		"caching scheme: "+strings.Join(core.SchemeFlags(), ", "))
 	delivery := fs.String("delivery", "pull", "data delivery model: pull, push, hybrid")
 	fs.Float64Var(&cfg.BroadcastKbps, "bcastbw", cfg.BroadcastKbps, "broadcast channel kbps (push/hybrid)")
 	fs.IntVar(&cfg.BroadcastHotItems, "bcasthot", cfg.BroadcastHotItems, "hybrid hot set size in items")
@@ -112,16 +114,11 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	switch *scheme {
-	case "sc":
-		cfg.Scheme = core.SchemeSC
-	case "coca":
-		cfg.Scheme = core.SchemeCOCA
-	case "grococa":
-		cfg.Scheme = core.SchemeGroCoca
-	default:
-		return fmt.Errorf("unknown scheme %q (want sc, coca or grococa)", *scheme)
+	parsedScheme, err := core.ParseScheme(*scheme)
+	if err != nil {
+		return err
 	}
+	cfg.Scheme = parsedScheme
 	switch *delivery {
 	case "pull":
 		cfg.Delivery = core.DeliveryPull
@@ -218,7 +215,7 @@ func run(args []string) error {
 			fmt.Printf(" %s=%.2fJ", cat, r.EnergyBreakdown[cat]/1e6)
 		}
 		fmt.Println()
-		if cfg.Scheme == core.SchemeGroCoca {
+		if s.MSS().TCG() != nil {
 			var sum, max int
 			for _, h := range s.Hosts() {
 				n := h.TCGSize()

@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/server"
+	"repro/internal/strategy"
 	"repro/internal/workload"
 )
 
@@ -267,20 +268,20 @@ func (a *Auditor) FaultEvent(at time.Duration, host network.NodeID, cause string
 // then reschedules itself. It runs on the kernel goroutine.
 func (a *Auditor) sweep() {
 	now := a.sim.Kernel().Now()
-	scheme := a.sim.Config().Scheme
+	traits := strategy.TraitsOf(a.sim.Config().Scheme)
 	for _, h := range a.sim.Hosts() {
 		lru := h.Cache()
 		if lru.Len() > lru.Cap() {
 			a.violate("cache-capacity", now, h.ID(),
 				fmt.Sprintf("cache holds %d entries over capacity %d", lru.Len(), lru.Cap()))
 		}
-		if scheme != core.SchemeSC {
+		if traits.PeerSearch {
 			if tau := h.SearchTimeout(); tau <= 0 || tau > a.cfg.MaxSearchTimeout {
 				a.violate("bounded-tau", now, h.ID(),
 					fmt.Sprintf("search timeout %v outside (0, %v]", tau, a.cfg.MaxSearchTimeout))
 			}
 		}
-		if scheme == core.SchemeGroCoca {
+		if traits.Signatures {
 			if h.SignatureDirty() {
 				a.violate("filter-counters", now, h.ID(),
 					"counting-filter signature has a negative-counter defect")

@@ -47,7 +47,7 @@ func (h *Host) audit() AuditSink {
 // SearchTimeout exposes the host's current peer-search timeout τ, for the
 // bounded-τ structural invariant (0 for SC hosts, which never search).
 func (h *Host) SearchTimeout() time.Duration {
-	if h.cfg.Scheme == SchemeSC {
+	if !h.traits.PeerSearch {
 		return 0
 	}
 	return h.searchTimeout()

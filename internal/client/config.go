@@ -1,44 +1,34 @@
 // Package client implements the mobile host (MH): the request loop over the
-// three caching schemes the paper compares — conventional caching (SC),
-// COCA, and GroCoca — including the P2P search protocol with adaptive
+// registered caching schemes — the paper's SC, COCA and GroCoca plus the
+// extension schemes — including the P2P search protocol with adaptive
 // timeout, TTL-based consistency, client disconnection, and the full
 // GroCoca machinery (cache signature scheme, signature exchange protocol,
-// cooperative cache admission control and replacement).
+// cooperative cache admission control and replacement). Which subsystems a
+// host runs is decided by the scheme's strategy.Traits, not by per-scheme
+// switches.
 package client
 
 import (
 	"fmt"
+	"strings"
 	"time"
+
+	"repro/internal/strategy"
 )
 
-// Scheme selects which caching protocol a host runs.
-type Scheme int
+// Scheme selects which caching protocol a host runs; it aliases the
+// registry ID so registered schemes flow through client and core
+// configuration unchanged.
+type Scheme = strategy.ID
 
-// The three schemes of the paper's evaluation.
+// Re-exported scheme IDs (see internal/strategy for the full registry).
 const (
-	// SchemeSC is conventional caching: local cache, then the MSS.
-	SchemeSC Scheme = iota + 1
-	// SchemeCOCA adds the P2P peer search between the local cache and the
-	// MSS.
-	SchemeCOCA
-	// SchemeGroCoca adds tightly-coupled groups, cache signatures, and the
-	// cooperative cache management protocols on top of COCA.
-	SchemeGroCoca
+	SchemeSC         = strategy.SC
+	SchemeCOCA       = strategy.COCA
+	SchemeGroCoca    = strategy.GroCoca
+	SchemePopularity = strategy.Popularity
+	SchemeHintLRU    = strategy.HintLRU
 )
-
-// String returns the label used in the paper's figures.
-func (s Scheme) String() string {
-	switch s {
-	case SchemeSC:
-		return "SC"
-	case SchemeCOCA:
-		return "COCA"
-	case SchemeGroCoca:
-		return "GroCoca"
-	default:
-		return "unknown"
-	}
-}
 
 // DeliveryModel selects how misses that reach the MSS are served: the
 // paper's pull-based environment (default), a pure push broadcast disk, or
@@ -161,20 +151,23 @@ type Config struct {
 }
 
 // Validate reports whether the configuration is usable for the selected
-// scheme.
+// scheme. Scheme-dependent constraints are gated on the registered
+// scheme's traits, so a new registry entry is validated by the machinery
+// it actually opts into.
 func (c Config) Validate() error {
-	switch c.Scheme {
-	case SchemeSC, SchemeCOCA, SchemeGroCoca:
-	default:
-		return fmt.Errorf("client: unknown scheme %d", int(c.Scheme))
+	strat, ok := strategy.Lookup(c.Scheme)
+	if !ok {
+		return fmt.Errorf("client: unknown scheme %d (registered: %s)",
+			int(c.Scheme), strings.Join(strategy.Flags(), ", "))
 	}
+	traits := strat.Traits()
 	if c.CacheSize <= 0 {
 		return fmt.Errorf("client: cache size %d must be positive", c.CacheSize)
 	}
 	if c.DataSize <= 0 {
 		return fmt.Errorf("client: data size %d must be positive", c.DataSize)
 	}
-	if c.Scheme != SchemeSC {
+	if traits.PeerSearch {
 		if c.HopDist < 1 {
 			return fmt.Errorf("client: hop distance %d must be at least 1", c.HopDist)
 		}
@@ -201,7 +194,7 @@ func (c Config) Validate() error {
 		return fmt.Errorf("client: disconnect probability %v outside [0, 1]", c.DiscProb)
 	}
 	if c.EnableSpillover {
-		if c.Scheme == SchemeSC {
+		if !traits.PeerSearch {
 			return fmt.Errorf("client: spillover needs a cooperative scheme")
 		}
 		if c.SpilloverActivityRatio <= 0 || c.SpilloverActivityRatio > 1 {
@@ -211,21 +204,23 @@ func (c Config) Validate() error {
 	if c.DiscProb > 0 && (c.DiscMin <= 0 || c.DiscMax < c.DiscMin) {
 		return fmt.Errorf("client: disconnect duration range [%v, %v] invalid", c.DiscMin, c.DiscMax)
 	}
-	if c.Scheme == SchemeGroCoca {
+	if traits.Signatures {
 		if c.SigBits <= 0 || c.SigHashes <= 0 {
 			return fmt.Errorf("client: signature geometry (%d, %d) invalid", c.SigBits, c.SigHashes)
 		}
 		if c.CacheCounterBits < 1 || c.CacheCounterBits > 32 {
 			return fmt.Errorf("client: cache counter bits %d outside [1, 32]", c.CacheCounterBits)
 		}
+		if c.PeerAccessSample < 0 || c.PeerAccessSample > 1 {
+			return fmt.Errorf("client: peer access sample %v outside [0, 1]", c.PeerAccessSample)
+		}
+	}
+	if traits.RankedReplace {
 		if c.ReplaceCandidate < 1 {
 			return fmt.Errorf("client: replace candidate window %d must be at least 1", c.ReplaceCandidate)
 		}
 		if c.ReplaceDelay < 1 {
 			return fmt.Errorf("client: replace delay %d must be at least 1", c.ReplaceDelay)
-		}
-		if c.PeerAccessSample < 0 || c.PeerAccessSample > 1 {
-			return fmt.Errorf("client: peer access sample %v outside [0, 1]", c.PeerAccessSample)
 		}
 	}
 	if c.RetrieveRetryLimit < 0 {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/network"
 	"repro/internal/server"
+	"repro/internal/strategy"
 	"repro/internal/workload"
 )
 
@@ -41,7 +42,7 @@ type sigDeltaPayload struct {
 func (h *Host) beaconPayload() (any, int) {
 	info := beaconInfo{}
 	extra := 0
-	if h.cfg.Scheme == SchemeGroCoca && (len(h.insertDelta) > 0 || len(h.evictDelta) > 0) {
+	if h.traits.Signatures && (len(h.insertDelta) > 0 || len(h.evictDelta) > 0) {
 		ins, evi := h.drainSigDelta()
 		if len(h.tcg) > 0 {
 			// Each position costs two bytes on air (σ ≤ 64 Ki).
@@ -49,12 +50,17 @@ func (h *Host) beaconPayload() (any, int) {
 			extra += 2 * (len(ins) + len(evi))
 		}
 	}
+	if h.traits.NeighborHints {
+		info.Hints = h.beaconHints()
+		// Each hinted item ID costs four bytes on air.
+		extra += 4 * len(info.Hints)
+	}
 	if h.cfg.EnableSpillover {
 		info.ActivityPerSec = h.activityPerSec()
 		info.HasSpace = !h.cache.Full()
 		extra += 5 // activity (4 bytes) + space flag
 	}
-	if info.SigDelta == nil && !h.cfg.EnableSpillover {
+	if info.SigDelta == nil && len(info.Hints) == 0 && !h.cfg.EnableSpillover {
 		return nil, 0
 	}
 	return info, extra
@@ -108,40 +114,50 @@ func (h *Host) admit(item workload.ItemID, now, ttl time.Duration, fromTCG bool)
 	}
 }
 
-// pickVictim chooses the entry to evict. GroCoca's cooperative replacement
-// prefers, among the ReplaceCandidate least valuable entries, the first one
-// whose data signature is covered by the peer signature (a probable replica
-// in the TCG); the SingletTTL counter keeps replica-less items from being
-// retained forever.
+// pickVictim chooses the entry to evict by dispatching to the scheme's
+// replacement ranking over the ReplaceCandidate least valuable entries
+// (cands[0] is the plain LRU victim). Schemes whose ranking is inactive —
+// by trait, ablation switch, or missing peer state — fall back to plain
+// LRU eviction.
 func (h *Host) pickVictim() *cache.Entry {
-	if h.cfg.Scheme != SchemeGroCoca || h.cfg.DisableCoopReplace || h.peerVec.Members() == 0 {
+	if !h.strat.ReplaceActive(h) {
 		return h.cache.Victim()
 	}
 	cands := h.cache.Candidates(h.cfg.ReplaceCandidate)
 	if len(cands) == 0 {
 		return nil
 	}
-	for i, e := range cands {
-		if !h.peerVec.CoversElement(uint64(e.ID)) {
-			continue
-		}
-		if i > 0 {
-			// The least valuable item was spared for lacking a replica;
-			// count down its SingletTTL and drop it outright once
-			// exhausted.
-			lv := cands[0]
-			lv.SingletTTL--
-			if lv.SingletTTL <= 0 {
-				h.collector.singletDrops++
-				return lv
-			}
-		}
+	victim, outcome := h.strat.PickVictim(h, cands)
+	switch outcome {
+	case strategy.EvictCoop:
 		h.collector.coopEvictions++
-		return e
+	case strategy.EvictSinglet:
+		h.collector.singletDrops++
 	}
-	// No candidate is probably replicated: replace the least valuable.
-	return cands[0]
+	return victim
 }
+
+// The host is the ReplacementEnv its scheme's replacement ranking sees.
+var _ strategy.ReplacementEnv = (*Host)(nil)
+
+// PeerMembers implements strategy.ReplacementEnv.
+func (h *Host) PeerMembers() int {
+	if h.peerVec == nil {
+		return 0
+	}
+	return h.peerVec.Members()
+}
+
+// PeerCovered implements strategy.ReplacementEnv.
+func (h *Host) PeerCovered(item workload.ItemID) bool {
+	if h.peerVec == nil {
+		return false
+	}
+	return h.peerVec.CoversElement(uint64(item))
+}
+
+// CoopReplaceDisabled implements strategy.ReplacementEnv.
+func (h *Host) CoopReplaceDisabled() bool { return h.cfg.DisableCoopReplace }
 
 // itemSignature builds the data (= search) signature for an item.
 func (h *Host) itemSignature(item workload.ItemID) *bloom.Filter {
@@ -161,7 +177,7 @@ func (h *Host) searchSignature(item workload.ItemID) *bloom.Filter {
 // sigInsert maintains the proactive cache signature and the piggyback
 // insertion list after a cache insertion.
 func (h *Host) sigInsert(item workload.ItemID) {
-	if h.cfg.Scheme != SchemeGroCoca {
+	if !h.traits.Signatures {
 		return
 	}
 	changed := h.ownSig.Insert(uint64(item))
@@ -182,7 +198,7 @@ func (h *Host) sigInsert(item workload.ItemID) {
 // sigRemove maintains the cache signature and eviction list after an
 // eviction.
 func (h *Host) sigRemove(item workload.ItemID) {
-	if h.cfg.Scheme != SchemeGroCoca {
+	if !h.traits.Signatures {
 		return
 	}
 	changed := h.ownSig.Remove(uint64(item))
@@ -258,7 +274,7 @@ func (h *Host) applySigDelta(from network.NodeID, inserts, evicts []int) {
 // applyMembershipChanges processes the TCG view changes piggybacked on MSS
 // replies.
 func (h *Host) applyMembershipChanges(changes []server.MembershipChange) {
-	if h.cfg.Scheme != SchemeGroCoca || len(changes) == 0 {
+	if !h.traits.Signatures || len(changes) == 0 {
 		return
 	}
 	departed := 0
@@ -348,7 +364,7 @@ func (h *Host) reconnectSignatures() {
 // handleNeighborUp retries outstanding signature collections when a peer in
 // the OutstandSigList comes (back) into contact.
 func (h *Host) handleNeighborUp(peer network.NodeID) {
-	if h.cfg.Scheme != SchemeGroCoca {
+	if !h.traits.Signatures {
 		return
 	}
 	if _, ok := h.outstandSig[peer]; ok {
@@ -360,7 +376,7 @@ func (h *Host) handleNeighborUp(peer network.NodeID) {
 // always for direct requests, and for broadcast recollections only when
 // this host appears in the membership list.
 func (h *Host) handleSigRequest(msg network.Message) {
-	if h.cfg.Scheme != SchemeGroCoca {
+	if !h.traits.Signatures {
 		return
 	}
 	payload, ok := msg.Payload.(sigRequestPayload)
@@ -417,7 +433,7 @@ func (h *Host) sigTransferBytes(sig *bloom.Filter) int {
 // handleSigReply folds a member's full signature into the peer vector,
 // replacing any previously stored contribution.
 func (h *Host) handleSigReply(msg network.Message) {
-	if h.cfg.Scheme != SchemeGroCoca {
+	if !h.traits.Signatures {
 		return
 	}
 	payload, ok := msg.Payload.(sigReplyPayload)

@@ -15,6 +15,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/strategy"
 	"repro/internal/workload"
 )
 
@@ -64,7 +65,12 @@ type Host struct {
 	id network.NodeID
 	k  *sim.Kernel
 	//lint:ignore snapshotdrift construction-time run configuration, identical for every host in a cell; the sweep records it, not the per-host image
-	cfg       Config
+	cfg Config
+	// strat is the construction-time strategy dispatch derived from
+	// cfg.Scheme via the registry, never mutated after New.
+	strat strategy.Scheme
+	//lint:ignore snapshotdrift construction-time trait flags cached off strat, never mutated after New
+	traits    strategy.Traits
 	mob       mobility.Node
 	medium    *network.Medium
 	link      *network.ServerLink
@@ -103,6 +109,8 @@ type Host struct {
 	lastRequestAt time.Duration
 	//lint:ignore snapshotdrift soft state re-learned from periodic NDP beacons and discarded as stale after three intervals; deliberately outside the quiescent image
 	neighborStates map[network.NodeID]neighborState
+	//lint:ignore snapshotdrift neighbour-hint soft state, same contract as neighborStates: re-learned from beacons, stale after three intervals
+	neighborHints map[workload.ItemID]hintState
 	//lint:ignore snapshotdrift construction-time constant copied from the NDP config, never mutated after New
 	beaconInterval time.Duration
 
@@ -148,6 +156,11 @@ func NewHost(
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	strat, ok := strategy.Lookup(cfg.Scheme)
+	if !ok {
+		// Unreachable after Validate, which requires a registered scheme.
+		return nil, fmt.Errorf("client: unknown scheme %d", int(cfg.Scheme))
+	}
 	lru, err := cache.NewLRU(cfg.CacheSize)
 	if err != nil {
 		return nil, err
@@ -156,6 +169,8 @@ func NewHost(
 		id:          id,
 		k:           k,
 		cfg:         cfg,
+		strat:       strat,
+		traits:      strat.Traits(),
 		mob:         mob,
 		medium:      medium,
 		link:        link,
@@ -168,7 +183,7 @@ func NewHost(
 		activityGap: stats.NewEWMA(0.3),
 	}
 	h.beaconInterval = ndpCfg.Interval
-	if cfg.Scheme != SchemeSC {
+	if h.traits.PeerSearch {
 		h.seenFloods = make(map[floodKey]struct{})
 		proto, err := ndp.New(k, medium, id, h.ndpConfig(ndpCfg))
 		if err != nil {
@@ -176,7 +191,7 @@ func NewHost(
 		}
 		h.ndp = proto
 	}
-	if cfg.Scheme == SchemeGroCoca {
+	if h.traits.Signatures {
 		h.tcg = make(map[network.NodeID]bool)
 		h.haveSig = make(map[network.NodeID]*bloom.Filter)
 		h.outstandSig = make(map[network.NodeID]struct{})
@@ -204,7 +219,7 @@ func (h *Host) ndpConfig(base ndp.Config) ndp.Config {
 			base.OnUp(peer)
 		}
 	}
-	if h.cfg.Scheme == SchemeGroCoca || h.cfg.EnableSpillover {
+	if h.traits.Signatures || h.traits.NeighborHints || h.cfg.EnableSpillover {
 		cfg.Beacon = h.beaconPayload
 	}
 	return cfg
@@ -265,7 +280,7 @@ func (h *Host) Start() {
 	if h.ndp != nil {
 		h.ndp.Start()
 	}
-	if h.cfg.Scheme == SchemeGroCoca && h.cfg.ExplicitUpdateAfter > 0 {
+	if h.traits.Signatures && h.cfg.ExplicitUpdateAfter > 0 {
 		//lint:ignore keyedsched periodic explicit-update timer; HostState is digest-only (resume re-runs the replication), so a pending timer marking the kernel non-quiescent is the contract working
 		h.k.Schedule(h.cfg.ExplicitUpdateAfter, h.explicitUpdateTick)
 	}
@@ -425,7 +440,7 @@ func (h *Host) recoverFromCrash() {
 	if h.ndp != nil {
 		h.ndp.Start()
 	}
-	if h.cfg.Scheme == SchemeGroCoca {
+	if h.traits.Signatures {
 		h.reconnectSignatures()
 	}
 	//lint:ignore keyedsched crash re-arm after recovery; deliberately unkeyed under the digest-only host checkpoint contract
@@ -458,7 +473,7 @@ func (h *Host) reconnect() {
 	if h.ndp != nil {
 		h.ndp.Start()
 	}
-	if h.cfg.Scheme == SchemeGroCoca {
+	if h.traits.Signatures {
 		h.reconnectSignatures()
 	}
 	h.scheduleNextRequest()
@@ -511,7 +526,8 @@ func (h *Host) Receive(msg network.Message) {
 		}
 		if info, ok := msg.Payload.(beaconInfo); ok {
 			h.recordNeighborBeacon(msg.From, info)
-			if info.SigDelta != nil && h.cfg.Scheme == SchemeGroCoca && h.tcg[msg.From] {
+			h.recordNeighborHints(info.Hints)
+			if info.SigDelta != nil && h.traits.Signatures && h.tcg[msg.From] {
 				h.applySigDelta(msg.From, info.SigDelta.Insert, info.SigDelta.Evict)
 			}
 		}

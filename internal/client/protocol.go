@@ -88,12 +88,12 @@ func (h *Host) beginRequest(item workload.ItemID) {
 		return
 	}
 
-	if h.cfg.Scheme == SchemeSC {
+	if !h.traits.PeerSearch {
 		h.goToServer(item)
 		return
 	}
 
-	if h.cfg.Scheme == SchemeGroCoca && !h.cfg.DisableFilter && h.peerVec.Members() > 0 {
+	if h.traits.Filtering && !h.cfg.DisableFilter && h.peerVec.Members() > 0 {
 		// Filtering mechanism: bypass the peer search when the peer
 		// signature cannot cover the search signature. A host without any
 		// collected member signature has no information to filter on and
@@ -118,7 +118,7 @@ func (h *Host) broadcastSearch(item workload.ItemID) {
 		Item:     item,
 		HopsLeft: h.cfg.HopDist,
 	}
-	if h.cfg.Scheme == SchemeGroCoca {
+	if h.traits.Signatures {
 		payload.SigInsert, payload.SigEvict = h.drainSigDelta()
 	}
 	h.medium.Broadcast(network.Message{
@@ -177,9 +177,9 @@ func (h *Host) handlePeerRequest(msg network.Message) {
 		h.seenFloods = make(map[floodKey]struct{})
 	}
 
-	// GroCoca: apply the piggybacked signature delta when the origin is a
-	// TCG member.
-	if h.cfg.Scheme == SchemeGroCoca && h.tcg[payload.Key.origin] {
+	// Apply the piggybacked signature delta when the origin is a TCG
+	// member.
+	if h.traits.Signatures && h.tcg[payload.Key.origin] {
 		h.applySigDelta(payload.Key.origin, payload.SigInsert, payload.SigEvict)
 	}
 
@@ -361,10 +361,12 @@ func (h *Host) handleData(msg network.Message) {
 	if a := h.audit(); a != nil {
 		a.HitServed(now, h.id, payload.Provider, payload.Item, OutcomeGlobalHit, payload.RetrievedAt, payload.ExpiresAt)
 	}
-	fromTCG := h.cfg.Scheme == SchemeGroCoca && h.tcg[payload.Provider]
+	fromTCG := h.traits.CoopAdmission && h.tcg[payload.Provider]
 	h.admit(payload.Item, now, ttl, fromTCG)
-	if h.cfg.Scheme == SchemeGroCoca {
+	if h.traits.Signatures {
 		h.peerAccessLog = append(h.peerAccessLog, payload.Item)
+	}
+	if h.traits.CoopAdmission {
 		h.touchLongestTTLMember(p)
 	}
 	h.complete(OutcomeGlobalHit)
@@ -409,7 +411,7 @@ type touchPayload struct {
 // handleTouch refreshes the recency of a copy this host serves to its TCG.
 func (h *Host) handleTouch(msg network.Message) {
 	payload, ok := msg.Payload.(touchPayload)
-	if !ok || h.cfg.Scheme != SchemeGroCoca || !h.tcg[payload.Origin] {
+	if !ok || !h.traits.CoopAdmission || !h.tcg[payload.Origin] {
 		return
 	}
 	now := h.k.Now()

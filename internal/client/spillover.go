@@ -14,10 +14,13 @@ import (
 // still-valid item offers it to the least active neighbor with room instead
 // of dropping it, extending the group's aggregate cache onto idle devices.
 
-// beaconInfo is the hello-message payload: the GroCoca signature delta plus
-// the spillover state.
+// beaconInfo is the hello-message payload: the GroCoca signature delta,
+// the neighbour-hint list, plus the spillover state.
 type beaconInfo struct {
 	SigDelta *sigDeltaPayload
+	// Hints are the sender's most-recently-used valid item IDs (schemes
+	// with the NeighborHints trait; see hints.go).
+	Hints []workload.ItemID
 	// ActivityPerSec is the host's EWMA request rate.
 	ActivityPerSec float64
 	// HasSpace reports whether the host's cache has free slots.

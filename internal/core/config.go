@@ -1,17 +1,20 @@
 // Package core is the public entry point of the reproduction: it assembles
 // the full simulated system of the paper — mobile support station, shared
 // wireless channels, motion groups of mobile hosts, workload, and one of
-// the three caching schemes (SC, COCA, GroCoca) — runs it to completion,
-// and reports the metrics the paper's figures plot.
+// the registered caching schemes (the paper's SC, COCA and GroCoca, plus
+// the extension schemes in internal/strategy) — runs it to completion, and
+// reports the metrics the paper's figures plot.
 package core
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/network"
 	"repro/internal/server"
+	"repro/internal/strategy"
 )
 
 // Scheme aliases the client scheme selector for the public API.
@@ -19,10 +22,34 @@ type Scheme = client.Scheme
 
 // Re-exported scheme constants.
 const (
-	SchemeSC      = client.SchemeSC
-	SchemeCOCA    = client.SchemeCOCA
-	SchemeGroCoca = client.SchemeGroCoca
+	SchemeSC         = client.SchemeSC
+	SchemeCOCA       = client.SchemeCOCA
+	SchemeGroCoca    = client.SchemeGroCoca
+	SchemePopularity = client.SchemePopularity
+	SchemeHintLRU    = client.SchemeHintLRU
 )
+
+// Schemes enumerates every registered scheme in stable (ID) order — the
+// paper's trio first, then the extension schemes.
+func Schemes() []Scheme {
+	return strategy.IDs()
+}
+
+// SchemeFlags enumerates the command-line spellings of the registered
+// schemes, in the same order as Schemes.
+func SchemeFlags() []string {
+	return strategy.Flags()
+}
+
+// ParseScheme resolves a command-line scheme spelling (e.g. "grococa")
+// against the registry.
+func ParseScheme(flag string) (Scheme, error) {
+	if sch, ok := strategy.ByFlag(strings.ToLower(flag)); ok {
+		return sch.ID(), nil
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q (want one of %s)",
+		flag, strings.Join(strategy.Flags(), ", "))
+}
 
 // MobilityModel selects the motion groups' reference trajectory model.
 type MobilityModel int
@@ -342,7 +369,7 @@ func (c Config) Validate() error {
 	if c.DataUpdateRate < 0 {
 		return fmt.Errorf("core: DataUpdateRate %v must be non-negative", c.DataUpdateRate)
 	}
-	if c.Scheme == SchemeGroCoca {
+	if strategy.TraitsOf(c.Scheme).Signatures {
 		if c.DistanceThreshold <= 0 {
 			return fmt.Errorf("core: DistanceThreshold %v must be positive", c.DistanceThreshold)
 		}

@@ -38,6 +38,7 @@ func TestConfigValidation(t *testing.T) {
 		{"negative update rate", func(c *Config) { c.DataUpdateRate = -1 }},
 		{"bad delta", func(c *Config) { c.DistanceThreshold = 0 }},
 		{"bad cache", func(c *Config) { c.CacheSize = 0 }},
+		{"unregistered scheme", func(c *Config) { c.Scheme = 99 }},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -54,6 +55,31 @@ func TestConfigValidation(t *testing.T) {
 	if err := smallConfig(SchemeGroCoca).Validate(); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
 	}
+	for _, scheme := range Schemes() {
+		if err := smallConfig(scheme).Validate(); err != nil {
+			t.Errorf("%v: valid config rejected: %v", scheme, err)
+		}
+	}
+}
+
+// TestUnknownSchemeError requires the rejection of an unregistered scheme
+// to name every registered spelling, so the message stays a usable
+// catalog as schemes are added.
+func TestUnknownSchemeError(t *testing.T) {
+	cfg := smallConfig(SchemeGroCoca)
+	cfg.Scheme = 99
+	err := cfg.Validate()
+	if err == nil {
+		t.Fatal("unregistered scheme accepted")
+	}
+	for _, flag := range SchemeFlags() {
+		if !strings.Contains(err.Error(), flag) {
+			t.Errorf("error %q does not list registered scheme %q", err, flag)
+		}
+	}
+	if _, err := ParseScheme("bogus"); err == nil {
+		t.Error("ParseScheme accepted an unknown spelling")
+	}
 }
 
 func TestEndToEndSchemes(t *testing.T) {
@@ -61,7 +87,7 @@ func TestEndToEndSchemes(t *testing.T) {
 		t.Skip("end-to-end simulation in -short mode")
 	}
 	results := map[Scheme]Results{}
-	for _, scheme := range []Scheme{SchemeSC, SchemeCOCA, SchemeGroCoca} {
+	for _, scheme := range Schemes() {
 		r, err := Run(smallConfig(scheme))
 		if err != nil {
 			t.Fatalf("%v: %v", scheme, err)
@@ -229,7 +255,8 @@ func TestRandomizedConfigsInvariants(t *testing.T) {
 		rng := sim.NewRNG(seed)
 		cfg := DefaultConfig()
 		cfg.Seed = seed
-		cfg.Scheme = []Scheme{SchemeSC, SchemeCOCA, SchemeGroCoca}[rng.Intn(3)]
+		schemes := Schemes()
+		cfg.Scheme = schemes[rng.Intn(len(schemes))]
 		cfg.NumClients = 5 + rng.Intn(20)
 		cfg.GroupSize = 1 + rng.Intn(6)
 		cfg.NData = 300 + rng.Intn(1000)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/sim"
+	"repro/internal/strategy"
 )
 
 // TestResultsInvariants is a property test over randomized small
@@ -18,8 +19,8 @@ func TestResultsInvariants(t *testing.T) {
 		t.Skip("randomized simulations in -short mode")
 	}
 	rng := sim.NewRNG(20260805).Stream("invariants")
-	schemes := []Scheme{SchemeSC, SchemeCOCA, SchemeGroCoca}
-	const trials = 12
+	schemes := Schemes()
+	const trials = 15
 	for i := 0; i < trials; i++ {
 		cfg := DefaultConfig()
 		cfg.Scheme = schemes[i%len(schemes)]
@@ -109,8 +110,9 @@ func TestResultsInvariants(t *testing.T) {
 			t.Errorf("trial %d (%s): fault-free run reports faults: %v", i, name, f)
 		}
 
-		// SC has no cooperative cache: zero peer traffic of any kind.
-		if cfg.Scheme == SchemeSC {
+		// Schemes without peer search (SC) have no cooperative cache:
+		// zero peer traffic of any kind.
+		if !strategy.TraitsOf(cfg.Scheme).PeerSearch {
 			if r.GlobalHitRatio != 0 {
 				t.Errorf("trial %d: SC global hit ratio %v, want 0", i, r.GlobalHitRatio)
 			}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/push"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/strategy"
 	"repro/internal/workload"
 )
 
@@ -65,7 +66,7 @@ func New(cfg Config) (*Simulation, error) {
 		return nil, fmt.Errorf("core: updater: %w", err)
 	}
 	var tcg *server.TCGManager
-	if cfg.Scheme == SchemeGroCoca {
+	if strategy.TraitsOf(cfg.Scheme).Signatures {
 		tcg, err = server.NewTCGManager(cfg.NumClients, cfg.NData, server.TCGConfig{
 			DistanceThreshold:   cfg.DistanceThreshold,
 			SimilarityThreshold: cfg.SimilarityThreshold,

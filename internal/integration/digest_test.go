@@ -32,10 +32,10 @@ type digestCase struct {
 	faults bool
 }
 
-// digestCases spans the three schemes, each with and without faults.
+// digestCases spans every registered scheme, each with and without faults.
 func digestCases() []digestCase {
 	var cases []digestCase
-	for _, s := range []core.Scheme{core.SchemeSC, core.SchemeCOCA, core.SchemeGroCoca} {
+	for _, s := range core.Schemes() {
 		name := strings.ToLower(s.String())
 		cases = append(cases,
 			digestCase{name: name, scheme: s, faults: false},
