@@ -26,6 +26,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/resilience"
 )
 
 // wallClock is the injectable wall-time source; command tests may freeze
@@ -49,6 +50,7 @@ func run(args []string) error {
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS); output is identical for any value")
 	tiny := fs.Bool("tiny", false, "shrink the scenario for smoke runs (8 clients, 400 items)")
 	brute := fs.Bool("brute", false, "disable the medium's spatial index and use pairwise O(N^2) reachability scans (A/B verification; results are byte-identical)")
+	resil := fs.Bool("resilience", false, "run every sweep cell under the default resilience policy (retry budgets, MSS-link breaker, hedging, serve-stale)")
 	quiet := fs.Bool("q", false, "suppress per-cell progress lines")
 	csv := fs.Bool("csv", false, "emit CSV rows instead of aligned tables")
 	resume := fs.String("resume", "", "journal completed cells in this directory and resume an interrupted run from it (output stays byte-identical)")
@@ -106,6 +108,13 @@ func run(args []string) error {
 		}
 		opts.Base.BruteForceReachability = true
 	}
+	if *resil {
+		if opts.Base == nil {
+			base := core.DefaultConfig()
+			opts.Base = &base
+		}
+		opts.Base.Resilience = resilience.DefaultPolicy()
+	}
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
@@ -113,8 +122,8 @@ func run(args []string) error {
 		// The meta record binds the journal to every flag that shapes the
 		// result set, so a resume with different parameters is refused
 		// instead of silently mixing runs.
-		meta := fmt.Sprintf("grococa-bench exp=%s seed=%d warmup=%d requests=%d reps=%d tiny=%v brute=%v schemes=%s",
-			*exp, *seed, *warmup, *requests, *reps, *tiny, *brute, *schemesFlag)
+		meta := fmt.Sprintf("grococa-bench exp=%s seed=%d warmup=%d requests=%d reps=%d tiny=%v brute=%v resilience=%v schemes=%s",
+			*exp, *seed, *warmup, *requests, *reps, *tiny, *brute, *resil, *schemesFlag)
 		jr, err := checkpoint.OpenJournal(*resume, []byte(meta))
 		if err != nil {
 			return err

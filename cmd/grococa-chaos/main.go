@@ -311,12 +311,12 @@ func runKillSelfTest(matrix []string, total int, killDir string, out io.Writer) 
 // command. The output depends only on the summary, which is canonical —
 // byte-identical across -parallel values.
 func printSummary(out io.Writer, sum chaos.Summary) {
-	_, _ = fmt.Fprintf(out, "%-12s %-8s %5s %8s %5s %7s %10s %10s %9s %12s\n",
-		"campaign", "scheme", "runs", "expired", "viol", "stale", "recovered", "unrecov", "censored", "mean-recov")
+	_, _ = fmt.Fprintf(out, "%-12s %-8s %5s %8s %5s %7s %8s %6s %10s %10s %9s %12s\n",
+		"campaign", "scheme", "runs", "expired", "viol", "stale", "degraded", "hedges", "recovered", "unrecov", "censored", "mean-recov")
 	for _, r := range sum.Rows {
-		_, _ = fmt.Fprintf(out, "%-12s %-8s %5d %8d %5d %6.1f%% %10d %10d %9d %12v\n",
+		_, _ = fmt.Fprintf(out, "%-12s %-8s %5d %8d %5d %6.1f%% %8d %6d %10d %10d %9d %12v\n",
 			r.Campaign, r.Scheme, r.Runs, r.Expired, r.Violations, 100*r.StaleRatio,
-			r.Recovered, r.Unrecovered, r.Censored, r.MeanRecovery.Round(time.Millisecond))
+			r.Degraded, r.Hedges, r.Recovered, r.Unrecovered, r.Censored, r.MeanRecovery.Round(time.Millisecond))
 	}
 	_, _ = fmt.Fprintf(out, "\n%d runs, %d clean, %d violations",
 		sum.Runs, sum.CleanRuns, len(sum.Violations)+sum.DroppedViolations)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/network"
+	"repro/internal/resilience"
 	"repro/internal/server"
 )
 
@@ -105,6 +106,16 @@ func run(args []string) error {
 	fs.IntVar(&cfg.RetrieveRetryLimit, "retrieveretry", cfg.RetrieveRetryLimit, "alternate-holder retries after a data timeout")
 	fs.IntVar(&cfg.ServerRetryLimit, "serverretry", cfg.ServerRetryLimit, "rescue re-sends of a lost MSS exchange (0 disables)")
 	fs.Float64Var(&cfg.ServerRescueFactor, "rescuefactor", cfg.ServerRescueFactor, "rescue timeout scale over the queue-aware RTT estimate")
+	resil := fs.Bool("resilience", false, "enable the unified resilience policy (retry budgets, jittered backoff, MSS-link breaker, hedging, serve-stale)")
+	pol := resilience.DefaultPolicy()
+	fs.IntVar(&pol.RetryBudget, "retrybudget", pol.RetryBudget, "per-request retry budget (with -resilience)")
+	fs.Float64Var(&pol.Jitter, "retryjitter", pol.Jitter, "backoff jitter fraction in [0,1] (with -resilience)")
+	fs.DurationVar(&pol.Deadline, "reqdeadline", pol.Deadline, "per-request deadline (with -resilience)")
+	fs.IntVar(&pol.BreakerFailures, "breakerfailures", pol.BreakerFailures, "consecutive MSS failures that open the breaker, 0 disables (with -resilience)")
+	fs.DurationVar(&pol.BreakerOpenFor, "breakeropen", pol.BreakerOpenFor, "open-breaker window before a half-open probe (with -resilience)")
+	fs.Float64Var(&pol.HedgeAfter, "hedgeafter", pol.HedgeAfter, "hedge a second holder after this fraction of the data timeout, 0 disables (with -resilience)")
+	fs.BoolVar(&pol.ServeStale, "servestale", pol.ServeStale, "serve expired cached copies during open-breaker windows (with -resilience)")
+	fs.DurationVar(&pol.ServeStaleMaxAge, "servestalemax", pol.ServeStaleMaxAge, "maximum age past expiry served stale, 0 unbounded (with -resilience)")
 	verbose := fs.Bool("v", false, "print auxiliary counters and host diagnostics")
 	traceFile := fs.String("tracefile", "", "write a CSV trace of every measured request to this file")
 	reps := fs.Int("reps", 1, "independent replications with derived seeds; > 1 prints mean ± sample sd")
@@ -119,6 +130,9 @@ func run(args []string) error {
 		return err
 	}
 	cfg.Scheme = parsedScheme
+	if *resil {
+		cfg.Resilience = pol
+	}
 	switch *delivery {
 	case "pull":
 		cfg.Delivery = core.DeliveryPull

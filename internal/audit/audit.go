@@ -32,6 +32,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/resilience"
 	"repro/internal/server"
 	"repro/internal/strategy"
 	"repro/internal/workload"
@@ -130,6 +131,14 @@ type Auditor struct {
 	freshServes uint64
 	staleServes uint64
 
+	// Resilience-layer tracking (see resilience.go): last observed breaker
+	// state per host, last observed budget spend per open request, and the
+	// degraded-serve/hedge tallies reconciled at Finish.
+	breakers       map[network.NodeID]resilience.State
+	budgets        map[reqKey]int
+	degradedServes uint64
+	hedges         uint64
+
 	violations []Violation
 	dropped    int
 
@@ -151,6 +160,8 @@ func Attach(s *core.Simulation, cfg Config) *Auditor {
 		contracts: make(map[contractKey]contract),
 		outcomes:  make(map[client.Outcome]uint64),
 		causes:    make(map[string]uint64),
+		breakers:  make(map[network.NodeID]resilience.State),
+		budgets:   make(map[reqKey]int),
 	}
 	a.recovery = newRecoveryTracker(cfg.Recovery, s.FaultPlan(), a.violate)
 	s.Collector().Audit = a
@@ -198,6 +209,7 @@ func (a *Auditor) RequestEnded(at time.Duration, host network.NodeID, seq uint64
 	} else {
 		delete(a.open, key)
 	}
+	delete(a.budgets, key)
 	a.outcomes[outcome]++
 	if cause != "" {
 		a.causes[cause]++
@@ -354,6 +366,7 @@ func (a *Auditor) Finish(completed bool) Report {
 				fmt.Sprintf("audit tracks %d open requests but %d hosts report one in flight", len(a.open), outstanding))
 		}
 	}
+	a.resilFinish(at)
 	a.recovery.finish(at)
 	return a.report(completed)
 }
@@ -368,6 +381,8 @@ func (a *Auditor) report(completed bool) Report {
 		Ended:             a.ended,
 		FreshServes:       a.freshServes,
 		StaleServes:       a.staleServes,
+		DegradedServes:    a.degradedServes,
+		Hedges:            a.hedges,
 		Recovery:          a.recovery.stats(),
 	}
 	for _, o := range []client.Outcome{client.OutcomeLocalHit, client.OutcomeGlobalHit, client.OutcomeServerRequest, client.OutcomeFailure} {

@@ -46,6 +46,11 @@ type Report struct {
 	// estimate).
 	FreshServes uint64
 	StaleServes uint64
+	// DegradedServes counts serve-stale hits delivered during open-breaker
+	// windows (included in the fresh/stale classification above); Hedges
+	// counts hedged peer retrieves.
+	DegradedServes uint64
+	Hedges         uint64
 	// Recovery summarises the per-cause recovery episodes.
 	Recovery []RecoveryStats
 }
@@ -80,6 +85,10 @@ func (r Report) Summary() string {
 		status, r.TotalViolations(), r.Ended, r.Begun)
 	fmt.Fprintf(&b, "hits: %d fresh, %d stale (ground-truth stale ratio %.3f)\n",
 		r.FreshServes, r.StaleServes, r.StaleRatio())
+	if r.DegradedServes > 0 || r.Hedges > 0 {
+		fmt.Fprintf(&b, "resilience: %d serve-stale hits, %d hedged retrieves\n",
+			r.DegradedServes, r.Hedges)
+	}
 	for _, o := range r.Outcomes {
 		fmt.Fprintf(&b, "  outcome %-14s %d\n", o.Outcome.String(), o.Count)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/network"
+	"repro/internal/resilience"
 )
 
 // Campaign is one named adversarial scenario family: Apply draws the
@@ -98,6 +99,20 @@ func Campaigns() []Campaign {
 				cfg.CrashMTBF = p.Duration(90*time.Second, 150*time.Second)
 				cfg.CrashDownMin = p.Duration(time.Second, 3*time.Second)
 				cfg.CrashDownMax = p.Duration(4*time.Second, 8*time.Second)
+			},
+		},
+		{
+			Name:        "breaker-flap",
+			Description: "dense server outages under the full resilience policy — breaker trips, half-open probes, serve-stale windows",
+			Apply: func(p *Params, cfg *core.Config) {
+				cfg.ServerOutagePeriod = p.Duration(12*time.Second, 20*time.Second)
+				cfg.ServerOutageDuration = p.Duration(3*time.Second, 6*time.Second)
+				cfg.UplinkLossProb = p.Float(0.02, 0.08)
+				cfg.DownlinkLossProb = p.Float(0.02, 0.08)
+				pol := resilience.DefaultPolicy()
+				pol.Jitter = p.Float(0.05, 0.3)
+				pol.BreakerOpenFor = p.Duration(2*time.Second, 5*time.Second)
+				cfg.Resilience = pol
 			},
 		},
 	}

@@ -92,6 +92,10 @@ type Row struct {
 	Violations int
 	// StaleRatio is the mean ground-truth stale-serve ratio.
 	StaleRatio float64
+	// Degraded and Hedges sum the resilience layer's serve-stale hits and
+	// hedged retrieves across the cell (zero without a policy).
+	Degraded uint64
+	Hedges   uint64
 	// Recovered, Unrecovered and Censored sum the recovery episodes:
 	// recovered within band, demonstrably past the SLO, and still open at
 	// run end (too late to observe recovery either way).
@@ -230,6 +234,8 @@ func Run(opts Options) (Summary, error) {
 				sum.DroppedViolations += r.Report.DroppedViolations
 				row.Violations += r.Report.TotalViolations()
 				stale += r.Report.StaleRatio()
+				row.Degraded += r.Report.DegradedServes
+				row.Hedges += r.Report.Hedges
 				for _, rec := range r.Report.Recovery {
 					row.Recovered += rec.Recovered
 					row.Unrecovered += rec.Unrecovered

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/network"
+	"repro/internal/resilience"
 	"repro/internal/workload"
 )
 
@@ -33,6 +34,42 @@ type AuditSink interface {
 	HitServed(at time.Duration, host, provider network.NodeID, item workload.ItemID, outcome Outcome, retrievedAt, expiresAt time.Duration)
 	// FaultEvent fires on host-level fault transitions (cause "crash").
 	FaultEvent(at time.Duration, host network.NodeID, cause string)
+}
+
+// ResilienceSink is the optional extension of AuditSink for the
+// resilience layer's event feed: breaker state edges (for the
+// state-machine legality invariant), retry-budget spending (for the
+// budget-conservation invariant), degraded serve-stale hits (which bypass
+// HitServed because they deliberately violate the TTL contract and are
+// accounted by the staleness oracle separately), and hedged retrieves.
+// The same callback discipline as AuditSink applies.
+type ResilienceSink interface {
+	AuditSink
+	// BreakerTransition fires on every breaker state edge.
+	BreakerTransition(at time.Duration, host network.NodeID, from, to resilience.State, cause string)
+	// RetrySpent fires each time request seq spends one unit of its retry
+	// budget; spent is the cumulative count after this spend, budget the
+	// policy cap. kind attributes the spend ("retrieve-retry" or
+	// "server-rescue").
+	RetrySpent(at time.Duration, host network.NodeID, seq uint64, kind string, spent, budget int)
+	// DegradedServe fires when an expired cached copy answers a request
+	// during an open-breaker window (serve-stale mode). retrievedAt and
+	// expiresAt describe the stale copy's original contract.
+	DegradedServe(at time.Duration, host network.NodeID, item workload.ItemID, retrievedAt, expiresAt time.Duration)
+	// HedgeIssued fires when a slow first retrieve is hedged with a second
+	// one to holder.
+	HedgeIssued(at time.Duration, host network.NodeID, seq uint64, holder network.NodeID)
+}
+
+// resilSink returns the attached sink's resilience extension, or nil.
+func (h *Host) resilSink() ResilienceSink {
+	if h.collector == nil {
+		return nil
+	}
+	if rs, ok := h.collector.Audit.(ResilienceSink); ok {
+		return rs
+	}
+	return nil
 }
 
 // audit returns the attached sink, or nil when the run is unaudited. The

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/resilience"
 	"repro/internal/strategy"
 )
 
@@ -139,6 +140,13 @@ type Config struct {
 	// fall back to 3.
 	ServerRescueFactor float64
 
+	// Resilience is the unified failure-handling policy: retry budgets
+	// with jittered exponential backoff, per-request deadlines, the MSS
+	// server-link circuit breaker, hedged peer retrieval, and serve-stale
+	// degraded mode. The zero value is disabled and leaves the legacy
+	// recovery fields above in sole control, byte-identical.
+	Resilience resilience.Policy
+
 	// Ablation switches.
 	DisableFilter      bool
 	DisableAdmission   bool
@@ -231,6 +239,9 @@ func (c Config) Validate() error {
 	}
 	if c.ServerRescueFactor < 0 {
 		return fmt.Errorf("client: server rescue factor %v must be non-negative", c.ServerRescueFactor)
+	}
+	if err := c.Resilience.Validate(); err != nil {
+		return fmt.Errorf("client: %w", err)
 	}
 	if c.WarmupRequests < 0 || c.MeasuredRequests <= 0 {
 		return fmt.Errorf("client: request counts (warmup %d, measured %d) invalid", c.WarmupRequests, c.MeasuredRequests)

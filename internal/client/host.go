@@ -12,6 +12,7 @@ import (
 	"repro/internal/ndp"
 	"repro/internal/network"
 	"repro/internal/push"
+	"repro/internal/resilience"
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -55,8 +56,30 @@ type pendingRequest struct {
 	// exchange.
 	retrieveAttempts int
 	serverAttempts   int
+	// Resilience state (zero and inert with the policy disabled):
+	// budgetSpent counts the retry-budget units this request has consumed,
+	// deadlineAt is the absolute request deadline, hedge is the armed
+	// hedged-retrieve timer and hedged marks that it fired.
+	budgetSpent int
+	deadlineAt  time.Duration
+	hedge       *sim.Event
+	hedged      bool
 	// cause attributes abnormal terminations for the audit feed.
 	cause string
+}
+
+// cancelTimers cancels every timer the request holds; it is the single
+// teardown point for complete, crash aborts and phase changes that
+// re-arm.
+func (p *pendingRequest) cancelTimers() {
+	if p.timeout != nil {
+		p.timeout.Cancel()
+		p.timeout = nil
+	}
+	if p.hedge != nil {
+		p.hedge.Cancel()
+		p.hedge = nil
+	}
 }
 
 // Host is one mobile host. It is driven entirely by simulation events; all
@@ -81,6 +104,16 @@ type Host struct {
 
 	rngDisc   *sim.RNG
 	rngSample *sim.RNG
+	// rngResil feeds backoff jitter; nil (and never derived) unless the
+	// resilience policy is enabled, so legacy runs draw identically.
+	rngResil *sim.RNG
+
+	// breaker is the MSS server-link circuit breaker; nil unless the
+	// resilience policy enables one. resilSpent accumulates the host's
+	// lifetime retry-budget spending for the conservation invariant and
+	// the checkpoint image.
+	breaker    *resilience.Breaker
+	resilSpent uint64
 
 	// disk is the broadcast schedule for push/hybrid delivery; nil under
 	// the default pull environment.
@@ -181,6 +214,17 @@ func NewHost(
 		rngSample:   rng.Stream(fmt.Sprintf("sample-%d", id)),
 		connected:   true,
 		activityGap: stats.NewEWMA(0.3),
+	}
+	if cfg.Resilience.Enabled {
+		h.rngResil = rng.Stream(fmt.Sprintf("resil-%d", id))
+		h.breaker = resilience.NewBreaker(cfg.Resilience, func(at time.Duration, from, to resilience.State, cause string) {
+			if to == resilience.Open {
+				h.collector.breakerOpens++
+			}
+			if rs := h.resilSink(); rs != nil {
+				rs.BreakerTransition(at, h.id, from, to, cause)
+			}
+		})
 	}
 	h.beaconInterval = ndpCfg.Interval
 	if h.traits.PeerSearch {
@@ -356,9 +400,7 @@ func (h *Host) complete(outcome Outcome) {
 	if p == nil {
 		return
 	}
-	if p.timeout != nil {
-		p.timeout.Cancel()
-	}
+	p.cancelTimers()
 	h.finish(p, outcome)
 	// Client disconnection: with probability P_disc, leave the network for
 	// DiscTime before the next request.
@@ -419,8 +461,11 @@ func (h *Host) crash() {
 	}
 	if p := h.cur; p != nil {
 		h.cur = nil
-		if p.timeout != nil {
-			p.timeout.Cancel()
+		p.cancelTimers()
+		if h.breaker != nil {
+			// A crashed request can be the half-open probe; free the slot
+			// without judging the link.
+			h.breaker.AbortProbe(h.k.Now())
 		}
 		h.collector.crashAborts++
 		p.cause = "crash-abort"

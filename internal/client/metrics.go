@@ -70,6 +70,12 @@ type Collector struct {
 	rescueFailures      uint64
 	crashes             uint64
 	crashAborts         uint64
+	serveStaleHits      uint64
+	breakerOpens        uint64
+	breakerProbes       uint64
+	breakerFastFails    uint64
+	hedgedRetrieves     uint64
+	deadlineFailures    uint64
 	measureStart        time.Duration
 
 	// GroupOf, when set by the assembler, maps a node to its motion group
@@ -195,6 +201,12 @@ func (c *Collector) Aux() AuxCounters {
 		RescueFailures:      c.rescueFailures,
 		Crashes:             c.crashes,
 		CrashAborts:         c.crashAborts,
+		ServeStaleHits:      c.serveStaleHits,
+		BreakerOpens:        c.breakerOpens,
+		BreakerProbes:       c.breakerProbes,
+		BreakerFastFails:    c.breakerFastFails,
+		HedgedRetrieves:     c.hedgedRetrieves,
+		DeadlineFailures:    c.deadlineFailures,
 	}
 }
 
@@ -237,4 +249,12 @@ type AuxCounters struct {
 	RescueFailures  uint64
 	Crashes         uint64
 	CrashAborts     uint64
+	// Resilience counters. All zero with the policy disabled; omitempty
+	// keeps the seed-digest goldens byte-identical in that case.
+	ServeStaleHits   uint64 `json:",omitempty"`
+	BreakerOpens     uint64 `json:",omitempty"`
+	BreakerProbes    uint64 `json:",omitempty"`
+	BreakerFastFails uint64 `json:",omitempty"`
+	HedgedRetrieves  uint64 `json:",omitempty"`
+	DeadlineFailures uint64 `json:",omitempty"`
 }

@@ -68,6 +68,9 @@ func (h *Host) beginRequest(item workload.ItemID) {
 	h.observeActivity(now)
 	h.seq++
 	h.cur = &pendingRequest{seq: h.seq, item: item, start: now}
+	if h.resilienceOn() {
+		h.cur.deadlineAt = now + h.cfg.Resilience.Deadline
+	}
 	if a := h.audit(); a != nil {
 		a.RequestBegan(now, h.id, h.seq, item)
 	}
@@ -128,7 +131,7 @@ func (h *Host) broadcastSearch(item workload.ItemID) {
 		Payload: payload,
 	})
 	//lint:ignore keyedsched request-lifecycle timeout: it only exists while cur != nil, and Host.State refuses to capture a non-quiescent host, so it can never be pending at a checkpoint
-	p.timeout = h.k.Schedule(h.searchTimeout(), func() {
+	p.timeout = h.k.Schedule(h.capToDeadline(p, h.searchTimeout()), func() {
 		if h.cur == p && p.phase == phaseWaitReply {
 			h.collector.peerTimeouts++
 			h.goToServer(item)
@@ -257,22 +260,30 @@ func (h *Host) handleReply(msg network.Message) {
 			Path:   payload.Path,
 		},
 	})
+	to := h.capToDeadline(p, h.dataTimeout())
 	//lint:ignore keyedsched request-lifecycle timeout, unreachable at a quiescent capture (State refuses while cur != nil)
-	p.timeout = h.k.Schedule(h.dataTimeout(), func() { h.dataTimeoutFired(p) })
+	p.timeout = h.k.Schedule(to, func() { h.dataTimeoutFired(p) })
+	h.armHedge(p, to)
 }
 
 // dataTimeoutFired handles an expired retrieve→data exchange: while the
-// retry budget lasts and another holder replied, the retrieve is re-issued
-// to the untried holder with the freshest copy (doubling the timeout per
-// attempt); otherwise the request falls back to the MSS.
+// retry budget lasts (the unified policy budget, or the legacy
+// per-mechanism limit) and another holder replied, the retrieve is
+// re-issued to the untried holder with the freshest copy, backing off per
+// attempt; otherwise the request falls back to the MSS.
 func (h *Host) dataTimeoutFired(p *pendingRequest) {
 	if h.cur != p || p.phase != phaseWaitData {
 		return
 	}
-	if p.retrieveAttempts < h.cfg.RetrieveRetryLimit {
+	if h.deadlineExpired(p) {
+		h.failDeadline(p)
+		return
+	}
+	if h.allowRetrieveRetry(p) {
 		if alt := p.nextHolder(); alt != nil {
 			p.retrieveAttempts++
 			h.collector.retrieveRetries++
+			h.spendRetryBudget(p, "retrieve-retry")
 			p.tried[alt.Holder] = true
 			p.provider = alt.Holder
 			p.replyPath = alt.Path
@@ -287,7 +298,7 @@ func (h *Host) dataTimeoutFired(p *pendingRequest) {
 					Path:   alt.Path,
 				},
 			})
-			backoff := h.dataTimeout() << uint(p.retrieveAttempts)
+			backoff := h.retrieveBackoff(p)
 			//lint:ignore keyedsched request-lifecycle retry backoff, unreachable at a quiescent capture (State refuses while cur != nil)
 			p.timeout = h.k.Schedule(backoff, func() { h.dataTimeoutFired(p) })
 			return
@@ -437,11 +448,12 @@ func (h *Host) goToServer(item workload.ItemID) {
 	if p == nil {
 		return
 	}
-	if p.timeout != nil {
-		p.timeout.Cancel()
-		p.timeout = nil
-	}
+	p.cancelTimers()
 	now := h.k.Now()
+	if h.deadlineExpired(p) {
+		h.failDeadline(p)
+		return
+	}
 	if !h.inServiceArea(now) {
 		p.cause = "out-of-service-area"
 		h.complete(OutcomeFailure)
@@ -462,6 +474,9 @@ func (h *Host) sendPull(item workload.ItemID, now time.Duration) {
 	if p == nil {
 		return
 	}
+	if !h.serverGate(p, now) {
+		return
+	}
 	p.phase = phaseWaitServer
 	h.lastServerContact = now
 	h.link.SendUp(network.Message{
@@ -480,27 +495,16 @@ func (h *Host) sendPull(item workload.ItemID, now time.Duration) {
 // armServerRescue schedules the lost-exchange recovery timer: if the MSS
 // reply has not arrived after a queue-aware round-trip estimate, the
 // exchange is re-issued (the request or reply was destroyed in transit),
-// and once ServerRetryLimit re-sends are exhausted the request is
-// declared an access failure instead of stalling the host forever.
+// and once the retry budget — the unified policy budget, or the legacy
+// ServerRetryLimit — is exhausted the request is declared an access
+// failure instead of stalling the host forever. Under the policy, a
+// fired rescue is also the breaker's failure signal for the MSS link.
 func (h *Host) armServerRescue(p *pendingRequest, want phase, resend func()) {
-	if h.cfg.ServerRetryLimit <= 0 {
+	if !h.resilienceOn() && h.cfg.ServerRetryLimit <= 0 {
 		return
 	}
 	//lint:ignore keyedsched request-lifecycle rescue timer, unreachable at a quiescent capture (State refuses while cur != nil)
-	p.timeout = h.k.Schedule(h.serverRescueTimeout(p.serverAttempts), func() {
-		if h.cur != p || p.phase != want {
-			return
-		}
-		if p.serverAttempts >= h.cfg.ServerRetryLimit {
-			h.collector.rescueFailures++
-			p.cause = "rescue-exhausted"
-			h.complete(OutcomeFailure)
-			return
-		}
-		p.serverAttempts++
-		h.collector.serverRescues++
-		resend()
-	})
+	p.timeout = h.k.Schedule(h.rescueTimeout(p), func() { h.serverRescueFired(p, want, resend) })
 }
 
 // serverRescueTimeout estimates how long a full MSS exchange can take
@@ -559,6 +563,9 @@ func (h *Host) validateWithServer(item workload.ItemID, retrievedAt time.Duratio
 		h.complete(OutcomeFailure)
 		return
 	}
+	if !h.serverGate(p, now) {
+		return
+	}
 	p.phase = phaseWaitValidate
 	h.lastServerContact = now
 	h.collector.validations++
@@ -589,9 +596,11 @@ func (h *Host) handleServerReply(msg network.Message) {
 	now := h.k.Now()
 	switch {
 	case p.phase == phaseWaitServer:
+		h.breakerSuccess(now)
 		h.admit(payload.Item, now, payload.TTL, false)
 		h.complete(OutcomeServerRequest)
 	case p.phase == phaseWaitValidate && payload.Refresh:
+		h.breakerSuccess(now)
 		h.collector.refreshes++
 		// Replace the stale copy in place.
 		if old := h.cache.Remove(payload.Item); old != nil {
@@ -614,6 +623,7 @@ func (h *Host) handleValidateOK(msg network.Message) {
 		return
 	}
 	now := h.k.Now()
+	h.breakerSuccess(now)
 	if e := h.cache.Peek(payload.Item); e != nil {
 		e.RetrievedAt = now
 		e.TTL = payload.TTL

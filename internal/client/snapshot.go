@@ -8,6 +8,7 @@ import (
 	"repro/internal/bloom"
 	"repro/internal/cache"
 	"repro/internal/network"
+	"repro/internal/resilience"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -58,6 +59,12 @@ type HostState struct {
 	OwnSig  *bloom.CountingFilterState
 	PeerVec *bloom.PeerVectorState
 	HaveSig map[network.NodeID]bloom.FilterState
+
+	// Resilience state: the MSS-link circuit breaker's full machine and
+	// the host's cumulative retry-budget spending. Nil breaker marks a
+	// host without one (policy disabled or breaker off).
+	Breaker    *resilience.BreakerState
+	ResilSpent uint64
 }
 
 // State captures the host's durable state. It is an error to capture a
@@ -79,7 +86,12 @@ func (h *Host) State() (HostState, error) {
 		NextReqItem:       h.nextReqItem,
 		NextReqPending:    h.nextReqPending,
 		DoneSent:          h.doneSent,
+		ResilSpent:        h.resilSpent,
 		Cache:             h.cache.State(),
+	}
+	if h.breaker != nil {
+		s := h.breaker.Snapshot()
+		st.Breaker = &s
 	}
 	if len(h.insertDelta) > 0 {
 		st.InsertDelta = sortedPositions(h.insertDelta)

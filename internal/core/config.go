@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/network"
+	"repro/internal/resilience"
 	"repro/internal/server"
 	"repro/internal/strategy"
 )
@@ -226,6 +227,11 @@ type Config struct {
 	RetrieveRetryLimit int
 	ServerRetryLimit   int
 	ServerRescueFactor float64
+
+	// Resilience is the unified failure-handling policy layered over the
+	// hardening above (see resilience.Policy). Disabled by default; the
+	// zero value keeps every legacy recovery path byte-identical.
+	Resilience resilience.Policy
 
 	// Ablation switches (GroCoca).
 	DisableFilter      bool
@@ -454,6 +460,7 @@ func (c Config) clientConfig() client.Config {
 		RetrieveRetryLimit:     c.RetrieveRetryLimit,
 		ServerRetryLimit:       c.ServerRetryLimit,
 		ServerRescueFactor:     c.ServerRescueFactor,
+		Resilience:             c.Resilience,
 		DisableFilter:          c.DisableFilter,
 		DisableAdmission:       c.DisableAdmission,
 		DisableCoopReplace:     c.DisableCoopReplace,

@@ -1,0 +1,51 @@
+package resilience
+
+import "time"
+
+// BreakerState is the serializable image of a Breaker for the checkpoint
+// layer: the construction-time thresholds travel with the state-machine
+// position, so RestoreBreaker stands alone. The transition observer is
+// wiring and is re-attached by the caller.
+type BreakerState struct {
+	// Threshold, OpenFor and Miswired are the breaker's configuration.
+	Threshold int
+	OpenFor   time.Duration
+	Miswired  bool
+	// State, Consecutive, OpenedAt and Probing are the state-machine
+	// position; Opens is the cumulative trip counter.
+	State       int
+	Consecutive int
+	OpenedAt    time.Duration
+	Probing     bool
+	Opens       uint64
+}
+
+// Snapshot captures the breaker.
+func (b *Breaker) Snapshot() BreakerState {
+	return BreakerState{
+		Threshold:   b.threshold,
+		OpenFor:     b.openFor,
+		Miswired:    b.miswired,
+		State:       int(b.state),
+		Consecutive: b.consec,
+		OpenedAt:    b.openedAt,
+		Probing:     b.probing,
+		Opens:       b.opens,
+	}
+}
+
+// RestoreBreaker rebuilds a breaker from its snapshot and re-attaches the
+// transition observer.
+func RestoreBreaker(st BreakerState, onTransition func(at time.Duration, from, to State, cause string)) *Breaker {
+	return &Breaker{
+		threshold:    st.Threshold,
+		openFor:      st.OpenFor,
+		miswired:     st.Miswired,
+		state:        State(st.State),
+		consec:       st.Consecutive,
+		openedAt:     st.OpenedAt,
+		probing:      st.Probing,
+		opens:        st.Opens,
+		onTransition: onTransition,
+	}
+}
